@@ -1,0 +1,149 @@
+// Command skalla-bench regenerates the paper's Sect. 5 evaluation: one
+// sub-command per figure (the speed-up experiments of Figs. 2–4, the
+// scale-up experiment of Fig. 5), plus the analytic group-transfer formula
+// check of Sect. 5.2. It prints the series each figure plots; EXPERIMENTS.md
+// records a reference run.
+//
+// Usage:
+//
+//	skalla-bench -fig all
+//	skalla-bench -fig 2 -sites 8 -rows 48000 -customers 16000
+//	skalla-bench -fig 5 -scale 4 -constant-groups
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"skalla/internal/bench"
+	"skalla/internal/stats"
+	"skalla/internal/tpc"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "skalla-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("skalla-bench", flag.ContinueOnError)
+	var (
+		fig       = fs.String("fig", "all", "experiment: 2, 3, 4, 5, formula, or all")
+		sites     = fs.Int("sites", 8, "sites for the speed-up experiments")
+		rows      = fs.Int("rows", 48000, "fact tuples (total for speed-up; per ×1 scale for Fig. 5)")
+		customers = fs.Int("customers", 16000, "CustName cardinality")
+		cities    = fs.Int("cities-per-nation", 120, "CityKey cardinality per nation")
+		clerks    = fs.Int("clerks", 3000, "Clerk cardinality")
+		seed      = fs.Int64("seed", 1, "generator seed")
+		scale     = fs.Int("scale", 4, "Fig. 5 maximum data scale factor")
+		constG    = fs.Bool("constant-groups", false, "Fig. 5: hold the group count constant while data grows")
+		netFlag   = fs.String("net", "lan", "network model: lan or none")
+		jsonPath  = fs.String("json", "", "also write the measured series as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := tpc.Config{
+		Rows: *rows, Customers: *customers, Nations: 25,
+		CitiesPerNation: *cities, Clerks: *clerks, Seed: *seed,
+	}
+	net := stats.NetModel{}
+	if *netFlag == "lan" {
+		net = stats.DefaultLAN()
+	}
+	collected := make(map[string][]bench.Row)
+
+	runFig := func(name string) error {
+		switch name {
+		case "2":
+			d, err := tpc.Generate(cfg, *sites)
+			if err != nil {
+				return err
+			}
+			rows, err := bench.Fig2(d, *sites, net)
+			if err != nil {
+				return err
+			}
+			collected["fig2"] = rows
+			fmt.Fprint(out, bench.Render("Fig. 2: group reduction (speed-up, high cardinality)", rows))
+		case "3":
+			d, err := tpc.Generate(cfg, *sites)
+			if err != nil {
+				return err
+			}
+			rows, err := bench.Fig3(d, *sites, net)
+			if err != nil {
+				return err
+			}
+			collected["fig3"] = rows
+			fmt.Fprint(out, bench.Render("Fig. 3: coalescing (speed-up, high & low cardinality)", rows))
+		case "4":
+			d, err := tpc.Generate(cfg, *sites)
+			if err != nil {
+				return err
+			}
+			rows, err := bench.Fig4(d, *sites, net)
+			if err != nil {
+				return err
+			}
+			collected["fig4"] = rows
+			fmt.Fprint(out, bench.Render("Fig. 4: synchronization reduction (speed-up, high & low cardinality)", rows))
+		case "5":
+			rows, err := bench.Fig5(cfg, 4, *scale, *constG, net)
+			if err != nil {
+				return err
+			}
+			collected["fig5"] = rows
+			title := "Fig. 5: combined reductions (scale-up, 4 sites)"
+			if *constG {
+				title += " — constant groups"
+			}
+			fmt.Fprint(out, bench.Render(title, rows))
+		case "formula":
+			d, err := tpc.Generate(cfg, *sites)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "== Sect. 5.2 formula: rows(site-reduced)/rows(baseline) vs (2c+2n+1)/(4n+1) ==")
+			fmt.Fprintf(out, "%4s %8s %10s %10s %8s\n", "n", "c", "measured", "predicted", "err%")
+			for n := 2; n <= *sites; n++ {
+				fc, err := bench.Fig2Formula(d, n, net)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "%4d %8.3f %10.4f %10.4f %7.2f%%\n",
+					fc.N, fc.C, fc.Measured, fc.Predicted, 100*fc.RelError())
+			}
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		return nil
+	}
+
+	if *fig == "all" {
+		for _, f := range []string{"2", "3", "4", "5", "formula"} {
+			if err := runFig(f); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+	} else if err := runFig(*fig); err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *jsonPath)
+	}
+	return nil
+}

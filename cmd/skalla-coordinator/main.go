@@ -1,0 +1,184 @@
+// Command skalla-coordinator connects to a set of Skalla sites, compiles an
+// OLAP query (the text format of skalla.ParseQueryText) into a distributed
+// GMDJ plan, executes it, and prints the result together with the per-round
+// cost breakdown.
+//
+// Usage:
+//
+//	skalla-coordinator -sites host1:7070,host2:7070 -data /data/tpcr -query q.skalla
+//	skalla-coordinator -sites :7070 -q 'base Flow key SourceAS
+//	  op B.SourceAS = R.SourceAS :: count(*) as c' -opts all
+//
+// -data points at the dataset directory (for the manifest only; the sites
+// hold the data) and enables the distribution-aware optimizations. -explain
+// prints the plan without executing.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"skalla"
+	"skalla/internal/egil"
+	"skalla/internal/manifest"
+	"skalla/internal/plan"
+	"skalla/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "skalla-coordinator:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("skalla-coordinator", flag.ContinueOnError)
+	var (
+		sitesFlag = fs.String("sites", "", "comma-separated site addresses (required)")
+		data      = fs.String("data", "", "dataset directory (manifest → distribution catalog)")
+		queryFile = fs.String("query", "", "query file in the skalla text format")
+		queryText = fs.String("q", "", "inline query text (alternative to -query)")
+		sqlText   = fs.String("sql", "", "inline SQL-style OLAP statement (SELECT ... GROUP BY / CUBE BY ...)")
+		blockRows = fs.Int("block-rows", 0, "row blocking: sites return H in blocks of this many rows (0 = off)")
+		optsFlag  = fs.String("opts", "all", "optimizations: all, none, or a comma list of coalesce,group-site,group-coord,sync")
+		explain   = fs.Bool("explain", false, "print the plan without executing")
+		replFlag  = fs.Bool("repl", false, "interactive mode: read statements from stdin")
+		netFlag   = fs.String("net", "none", "network model for response-time reporting: none or lan")
+		maxRows   = fs.Int("max-rows", 20, "result rows to print")
+		statsJSON = fs.String("stats-json", "", "also write the execution metrics as JSON to this file")
+		trace     = fs.Bool("trace", false, "stream per-round execution progress while the query runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sitesFlag == "" {
+		return fmt.Errorf("-sites is required")
+	}
+	text := *queryText
+	if *queryFile != "" {
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			return err
+		}
+		text = string(b)
+	}
+	var q skalla.Query
+	var post *egil.Statement
+	var err error
+	switch {
+	case *replFlag:
+		// Query flags are ignored in REPL mode.
+	case *sqlText != "" && text != "":
+		return fmt.Errorf("provide either -sql or -query/-q, not both")
+	case *sqlText != "":
+		post, err = egil.ParseStatement(*sqlText)
+		if err == nil {
+			q, err = post.ToQuery()
+		}
+	case text != "":
+		q, err = skalla.ParseQueryText(text)
+	default:
+		return fmt.Errorf("provide a query with -query, -q or -sql (or use -repl)")
+	}
+	if err != nil {
+		return err
+	}
+	opts, err := parseOpts(*optsFlag)
+	if err != nil {
+		return err
+	}
+
+	addrs := strings.Split(*sitesFlag, ",")
+	clusterOpts := []skalla.ClusterOption{skalla.WithRowBlocking(*blockRows)}
+	if *trace {
+		clusterOpts = append(clusterOpts, skalla.WithTrace(out))
+	}
+	if *data != "" {
+		m, err := manifest.Load(*data)
+		if err != nil {
+			return err
+		}
+		cat, err := m.Catalog(len(addrs))
+		if err != nil {
+			return err
+		}
+		clusterOpts = append(clusterOpts, skalla.WithCatalog(cat))
+	}
+	if *netFlag == "lan" {
+		clusterOpts = append(clusterOpts, skalla.WithNetModel(stats.DefaultLAN()))
+	}
+
+	cluster, err := skalla.Connect(addrs, clusterOpts...)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	if *replFlag {
+		return repl(cluster, os.Stdin, out, opts, *maxRows)
+	}
+
+	ctx := context.Background()
+	if *explain {
+		desc, err := cluster.Explain(ctx, q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, desc)
+		return nil
+	}
+	res, err := cluster.Execute(ctx, q, opts)
+	if err != nil {
+		return err
+	}
+	if post != nil {
+		// Client-side ORDER BY / LIMIT of the SQL dialect.
+		if err := post.Postprocess(res.Rel); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "%d group(s):\n%s\n", res.Rel.Len(), res.Rel.Format(*maxRows))
+	fmt.Fprint(out, res.Plan.Describe())
+	fmt.Fprint(out, res.Metrics.String())
+	if *statsJSON != "" {
+		data, err := json.MarshalIndent(res.Metrics, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*statsJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseOpts(s string) (skalla.Options, error) {
+	switch s {
+	case "all":
+		return plan.All(), nil
+	case "none", "":
+		return plan.None(), nil
+	}
+	var o skalla.Options
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "coalesce":
+			o.Coalesce = true
+		case "group-site":
+			o.GroupReduceSite = true
+		case "group-coord":
+			o.GroupReduceCoord = true
+		case "sync":
+			o.SyncReduce = true
+		default:
+			return o, fmt.Errorf("unknown optimization %q", part)
+		}
+	}
+	return o, nil
+}

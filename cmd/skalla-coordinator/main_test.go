@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"skalla/internal/engine"
+	"skalla/internal/flow"
+	"skalla/internal/manifest"
+	"skalla/internal/transport"
+)
+
+// startCluster serves a generated flow dataset on two ephemeral TCP ports
+// and returns the dataset directory and the joined site address list.
+func startCluster(t *testing.T) (dir, sites string) {
+	t.Helper()
+	dir = t.TempDir()
+	cfg := flow.Config{Rows: 400, Routers: 2, SourceAS: 10, DestAS: 4, Seed: 2}
+	d, err := flow.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := manifest.Manifest{Kind: manifest.KindFlow, NumSites: 2, Flow: &cfg}
+	if err := m.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	for i, part := range d.Parts {
+		es := engine.NewSite(i)
+		if err := es.Load(flow.RelationName, part); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := transport.Serve(es, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, srv.Addr())
+	}
+	return dir, strings.Join(addrs, ",")
+}
+
+const testQuery = `
+base Flow key SourceAS
+op B.SourceAS = R.SourceAS :: count(*) as flows, avg(NumBytes) as avgBytes
+op B.SourceAS = R.SourceAS && R.NumBytes >= B.avgBytes :: count(*) as big
+`
+
+func TestCoordinatorExecutes(t *testing.T) {
+	dir, sites := startCluster(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-sites", sites, "-data", dir, "-q", testQuery, "-opts", "all", "-net", "lan",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"group(s):", "flows", "avgBytes", "plan:", "rounds: 1", "total:"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestCoordinatorExplain(t *testing.T) {
+	dir, sites := startCluster(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-sites", sites, "-data", dir, "-q", testQuery, "-opts", "sync", "-explain",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "full local evaluation") {
+		t.Errorf("explain output:\n%s", out.String())
+	}
+	// No result table in explain mode.
+	if strings.Contains(out.String(), "group(s):") {
+		t.Error("explain must not execute")
+	}
+}
+
+func TestCoordinatorQueryFile(t *testing.T) {
+	dir, sites := startCluster(t)
+	qf := filepath.Join(t.TempDir(), "q.skalla")
+	if err := os.WriteFile(qf, []byte(testQuery), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-sites", sites, "-data", dir, "-query", qf, "-opts", "none"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rounds: 3") {
+		t.Errorf("baseline should use 3 rounds:\n%s", out.String())
+	}
+}
+
+func TestCoordinatorErrors(t *testing.T) {
+	dir, sites := startCluster(t)
+	var out bytes.Buffer
+	cases := [][]string{
+		{},                               // missing sites
+		{"-sites", sites},                // missing query
+		{"-sites", sites, "-q", "bogus"}, // bad query text
+		{"-sites", sites, "-q", testQuery, "-opts", "frob"},                          // bad opts
+		{"-sites", sites, "-q", testQuery, "-data", "/nope"},                         // bad data dir
+		{"-sites", "127.0.0.1:1", "-q", testQuery},                                   // unreachable site
+		{"-sites", sites, "-query", "/nope/q.skalla"},                                // missing file
+		{"-sites", sites, "-q", "base Missing key x\nop B.x = R.x :: count(*) as c"}, // unknown relation
+	}
+	_ = dir
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+func TestParseOpts(t *testing.T) {
+	o, err := parseOpts("coalesce,group-site")
+	if err != nil || !o.Coalesce || !o.GroupReduceSite || o.SyncReduce {
+		t.Errorf("parseOpts = %+v, %v", o, err)
+	}
+	if _, err := parseOpts("nope"); err == nil {
+		t.Error("unknown switch must error")
+	}
+	all, _ := parseOpts("all")
+	if !all.Coalesce || !all.SyncReduce || !all.GroupReduceCoord || !all.GroupReduceSite {
+		t.Error("all must enable everything")
+	}
+	none, _ := parseOpts("none")
+	if none.Coalesce || none.SyncReduce {
+		t.Error("none must disable everything")
+	}
+	gc, _ := parseOpts("group-coord,sync")
+	if !gc.GroupReduceCoord || !gc.SyncReduce || gc.Coalesce {
+		t.Error("comma list parsing")
+	}
+}
+
+func TestCoordinatorSQLWithOrderLimit(t *testing.T) {
+	dir, sites := startCluster(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-sites", sites, "-data", dir,
+		"-sql", "SELECT SourceAS, COUNT(*) AS flows FROM Flow GROUP BY SourceAS ORDER BY flows DESC LIMIT 3",
+		"-opts", "all",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "3 group(s)") {
+		t.Errorf("LIMIT 3 not applied:\n%s", s)
+	}
+	// Descending: first data line has the max count.
+	lines := strings.Split(s, "\n")
+	var counts []int
+	for _, ln := range lines {
+		var as, c int
+		if n, _ := fmt.Sscanf(ln, "%d %d", &as, &c); n == 2 {
+			counts = append(counts, c)
+		}
+	}
+	if len(counts) != 3 || counts[0] < counts[1] || counts[1] < counts[2] {
+		t.Errorf("not descending: %v\n%s", counts, s)
+	}
+}
+
+func TestCoordinatorStatsJSON(t *testing.T) {
+	dir, sites := startCluster(t)
+	path := filepath.Join(t.TempDir(), "stats.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-sites", sites, "-data", dir, "-q", testQuery, "-opts", "none", "-stats-json", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	rounds, ok := m["Rounds"].([]any)
+	if !ok || len(rounds) != 3 {
+		t.Errorf("stats JSON rounds = %v", m["Rounds"])
+	}
+}
+
+func TestCoordinatorTrace(t *testing.T) {
+	dir, sites := startCluster(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-sites", sites, "-data", dir, "-q", testQuery, "-opts", "none", "-trace",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"round base: start", "round MD2: done", "site 1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("trace missing %q:\n%s", frag, s)
+		}
+	}
+}

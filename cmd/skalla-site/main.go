@@ -1,0 +1,114 @@
+// Command skalla-site runs one Skalla local warehouse site: it loads the
+// site's partition of a generated dataset (see tpcgen) and serves the site
+// protocol over TCP for a skalla-coordinator to drive.
+//
+// Usage:
+//
+//	skalla-site -addr :7070 -site 0 -data /data/tpcr
+//
+// Without -data the site starts empty; a coordinator (or test tool) can push
+// partitions over the wire.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"skalla/internal/engine"
+	"skalla/internal/manifest"
+	"skalla/internal/relation"
+	"skalla/internal/store"
+	"skalla/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "skalla-site:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	srv, err := start(args)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("shutting down")
+	return srv.Close()
+}
+
+// start parses flags, loads the site's partition, and begins serving; it
+// returns the running server (run waits on it until a signal arrives).
+func start(args []string) (*transport.Server, error) {
+	fs := flag.NewFlagSet("skalla-site", flag.ContinueOnError)
+	var (
+		addr = fs.String("addr", ":7070", "listen address")
+		site = fs.Int("site", 0, "site index within the dataset")
+		data = fs.String("data", "", "dataset directory written by tpcgen (optional)")
+		disk = fs.Bool("disk", false, "serve the partition from a disk-backed segment store (bounded memory) instead of loading it into RAM")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	es := engine.NewSite(*site)
+	if *data != "" {
+		m, err := manifest.Load(*data)
+		if err != nil {
+			return nil, err
+		}
+		if *site < 0 || *site >= m.NumSites {
+			return nil, fmt.Errorf("site %d out of range (dataset has %d sites)", *site, m.NumSites)
+		}
+		relName, err := m.RelationName()
+		if err != nil {
+			return nil, err
+		}
+		gobPath := manifest.SitePath(*data, *site, relName)
+		if *disk {
+			storeDir := strings.TrimSuffix(gobPath, ".gob") + ".store"
+			tbl, err := store.Open(storeDir)
+			if err != nil {
+				// First run: convert the gob partition into segments once.
+				part, lerr := relation.LoadGobFile(gobPath)
+				if lerr != nil {
+					return nil, lerr
+				}
+				tbl, err = store.CreateFrom(storeDir, relName, part, store.DefaultSegmentRows)
+				if err != nil {
+					return nil, err
+				}
+				fmt.Printf("site %d: converted %s to %d disk segment(s)\n", *site, relName, tbl.NumSegments())
+			}
+			if err := es.LoadSource(relName, tbl); err != nil {
+				return nil, err
+			}
+			fmt.Printf("site %d: serving %s from disk (%d rows, %d segments)\n",
+				*site, relName, tbl.Len(), tbl.NumSegments())
+		} else {
+			part, err := relation.LoadGobFile(gobPath)
+			if err != nil {
+				return nil, err
+			}
+			if err := es.Load(relName, part); err != nil {
+				return nil, err
+			}
+			fmt.Printf("site %d: loaded %s (%d rows)\n", *site, relName, part.Len())
+		}
+	}
+
+	srv, err := transport.Serve(es, *addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("site %d: serving on %s\n", *site, srv.Addr())
+	return srv, nil
+}

@@ -1,0 +1,3 @@
+module skalla
+
+go 1.22

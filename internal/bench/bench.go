@@ -1,0 +1,348 @@
+// Package bench is the experiment harness reproducing the paper's Sect. 5
+// evaluation: the speed-up experiments of Figs. 2–4 (eight-site TPCR
+// partitioning with a varying number of participating sites), the scale-up
+// experiment of Fig. 5 (four sites, growing per-site data), and the
+// analytic group-transfer formula check of Sect. 5.2. Each runner returns
+// the series the corresponding figure plots; cmd/skalla-bench and the
+// top-level bench_test.go print them.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"skalla/internal/agg"
+	"skalla/internal/core"
+	"skalla/internal/distrib"
+	"skalla/internal/engine"
+	"skalla/internal/expr"
+	"skalla/internal/gmdj"
+	"skalla/internal/plan"
+	"skalla/internal/stats"
+	"skalla/internal/tpc"
+	"skalla/internal/transport"
+)
+
+// Cluster is a ready-to-query distributed warehouse instance.
+type Cluster struct {
+	Coord   *core.Coordinator
+	Sites   []transport.Site
+	Catalog *distrib.Catalog
+}
+
+// NewTPCCluster builds a cluster over the first n partitions of a TPCR
+// dataset, using the serializing in-process transport so byte counts are
+// wire-faithful.
+func NewTPCCluster(d *tpc.Dataset, n int, net stats.NetModel) (*Cluster, error) {
+	if n <= 0 || n > d.NumSites {
+		return nil, fmt.Errorf("bench: cluster over %d of %d sites", n, d.NumSites)
+	}
+	sites := make([]transport.Site, n)
+	for i := 0; i < n; i++ {
+		es := engine.NewSite(i)
+		if err := es.Load(tpc.RelationName, d.Parts[i]); err != nil {
+			return nil, err
+		}
+		sites[i] = transport.NewLocalSite(es)
+	}
+	cat, err := d.Catalog(n)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := core.New(sites, cat, net)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Coord: coord, Sites: sites, Catalog: cat}, nil
+}
+
+// TwoPhaseQuery builds the experiments' workload query: two GMDJ operators,
+// each computing a COUNT and an AVG (as in Sect. 5.1), grouped on the given
+// attribute. With dependent=true the second operator's condition references
+// the first operator's average (the correlated, non-coalescible shape used
+// by the group-reduction, sync-reduction and combined experiments); with
+// dependent=false the second condition is independent (the coalescible shape
+// of the coalescing experiment).
+func TwoPhaseQuery(attr string, dependent bool) gmdj.Query {
+	link := fmt.Sprintf("B.%s = R.%s", attr, attr)
+	second := link + " && R.Discount >= 0.05"
+	if dependent {
+		second = link + " && R.ExtendedPrice >= B.avg1"
+	}
+	return gmdj.Query{
+		Base: gmdj.BaseQuery{Detail: tpc.RelationName, Cols: []string{attr}},
+		Ops: []gmdj.Operator{
+			{Detail: tpc.RelationName, Vars: []gmdj.GroupVar{{
+				Aggs: []agg.Spec{
+					{Func: agg.Count, As: "cnt1"},
+					{Func: agg.Avg, Arg: "ExtendedPrice", As: "avg1"},
+				},
+				Cond: expr.MustParse(link),
+			}}},
+			{Detail: tpc.RelationName, Vars: []gmdj.GroupVar{{
+				Aggs: []agg.Spec{
+					{Func: agg.Count, As: "cnt2"},
+					{Func: agg.Avg, Arg: "Quantity", As: "avg2"},
+				},
+				Cond: expr.MustParse(second),
+			}}},
+		},
+	}
+}
+
+// HighCardAttr is the high-cardinality grouping attribute (Customer.Name in
+// the paper, 100 000 unique values, partition-aligned).
+const HighCardAttr = "CustName"
+
+// LowCardAlignedAttr is the low-cardinality partition-aligned attribute used
+// by the sync-reduction low-cardinality experiment (2 000–4 000 values).
+const LowCardAlignedAttr = "CityKey"
+
+// LowCardAttr is the low-cardinality, deliberately non-aligned attribute
+// used by the coalescing low-cardinality experiment.
+const LowCardAttr = "Clerk"
+
+// Row is one measured point of an experiment series.
+type Row struct {
+	Series    string
+	X         int // participating sites (speed-up) or scale factor (scale-up)
+	Time      time.Duration
+	Bytes     int
+	BytesDown int
+	BytesUp   int
+	Rows      int
+	RowsDown  int
+	RowsUp    int
+	Groups    int
+	Rounds    int
+	SiteTime  time.Duration
+	CoordTime time.Duration
+	CommTime  time.Duration
+}
+
+// measure runs one query under the given options and folds the metrics into
+// a Row.
+func measure(c *Cluster, q gmdj.Query, opts plan.Options, series string, x int) (Row, error) {
+	res, err := c.Coord.Execute(context.Background(), q, opts)
+	if err != nil {
+		return Row{}, err
+	}
+	m := res.Metrics
+	rowsDown, rowsUp := 0, 0
+	for i := range m.Rounds {
+		rowsDown += m.Rounds[i].RowsDown()
+		rowsUp += m.Rounds[i].RowsUp()
+	}
+	return Row{
+		Series:    series,
+		X:         x,
+		Time:      m.ResponseTime(),
+		Bytes:     m.TotalBytes(),
+		BytesDown: m.TotalBytesDown(),
+		BytesUp:   m.TotalBytesUp(),
+		Rows:      m.TotalRows(),
+		RowsDown:  rowsDown,
+		RowsUp:    rowsUp,
+		Groups:    res.Rel.Len(),
+		Rounds:    m.NumRounds(),
+		SiteTime:  m.SiteTime(),
+		CoordTime: m.CoordTime(),
+		CommTime:  m.CommTime(),
+	}, nil
+}
+
+// SpeedUp runs one query/options pair over 1..maxSites participating sites
+// of a fixed dataset (the setup of Sect. 5.2) and returns one Row per point.
+func SpeedUp(d *tpc.Dataset, q gmdj.Query, opts plan.Options, series string, maxSites int, net stats.NetModel) ([]Row, error) {
+	var rows []Row
+	for n := 1; n <= maxSites; n++ {
+		c, err := NewTPCCluster(d, n, net)
+		if err != nil {
+			return nil, err
+		}
+		r, err := measure(c, q, opts, series, n)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s at %d sites: %w", series, n, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Fig2 reproduces the group-reduction experiment (Fig. 2): the dependent
+// two-operator query on the high-cardinality partition-aligned attribute,
+// with no reduction, site-side (distribution-independent) reduction,
+// coordinator-side (distribution-aware) reduction, and both. The paper plots
+// the first two; the coordinator-side series demonstrates the "would make
+// the curves linear" analysis of Sect. 5.2.
+func Fig2(d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
+	q := TwoPhaseQuery(HighCardAttr, true)
+	variants := []struct {
+		series string
+		opts   plan.Options
+	}{
+		{"no-reduction", plan.None()},
+		{"site-reduction", plan.Options{GroupReduceSite: true}},
+		{"coord-reduction", plan.Options{GroupReduceCoord: true}},
+		{"both-reductions", plan.Options{GroupReduceSite: true, GroupReduceCoord: true}},
+	}
+	var out []Row
+	for _, v := range variants {
+		rows, err := SpeedUp(d, q, v.opts, v.series, maxSites, net)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// Fig3 reproduces the coalescing experiment (Fig. 3): the independent
+// two-operator query, coalesced vs. not, on the high-cardinality attribute
+// (left panel) and the low-cardinality attribute (right panel).
+func Fig3(d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
+	var out []Row
+	for _, card := range []struct {
+		label string
+		attr  string
+	}{{"high", HighCardAttr}, {"low", LowCardAttr}} {
+		q := TwoPhaseQuery(card.attr, false)
+		for _, v := range []struct {
+			series string
+			opts   plan.Options
+		}{
+			{card.label + "/non-coalesced", plan.None()},
+			{card.label + "/coalesced", plan.Options{Coalesce: true}},
+		} {
+			rows, err := SpeedUp(d, q, v.opts, v.series, maxSites, net)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rows...)
+		}
+	}
+	return out, nil
+}
+
+// Fig4 reproduces the synchronization-reduction experiment (Fig. 4): the
+// dependent (non-coalescible) query with and without sync reduction, on the
+// high-cardinality attribute (left) and the low-cardinality partition-
+// aligned attribute (right).
+func Fig4(d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
+	var out []Row
+	for _, card := range []struct {
+		label string
+		attr  string
+	}{{"high", HighCardAttr}, {"low", LowCardAlignedAttr}} {
+		q := TwoPhaseQuery(card.attr, true)
+		for _, v := range []struct {
+			series string
+			opts   plan.Options
+		}{
+			{card.label + "/no-sync-reduction", plan.None()},
+			{card.label + "/sync-reduction", plan.Options{SyncReduce: true}},
+		} {
+			rows, err := SpeedUp(d, q, v.opts, v.series, maxSites, net)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rows...)
+		}
+	}
+	return out, nil
+}
+
+// Fig5 reproduces the scale-up experiment (Fig. 5): four sites, per-site
+// data scaled ×1..×maxScale, combined-reductions query with all
+// optimizations vs. none. When constantGroups is true the group count is
+// held fixed while the data grows (the Sect. 5.3 variant); otherwise groups
+// grow linearly with the data. The optimized rows carry the site /
+// coordinator / communication breakdown of the right panel.
+func Fig5(base tpc.Config, numSites, maxScale int, constantGroups bool, net stats.NetModel) ([]Row, error) {
+	q := TwoPhaseQuery(HighCardAttr, true)
+	var out []Row
+	for s := 1; s <= maxScale; s++ {
+		cfg := base
+		cfg.Rows = base.Rows * s
+		if !constantGroups {
+			cfg.Customers = base.Customers * s
+		}
+		d, err := tpc.Generate(cfg, numSites)
+		if err != nil {
+			return nil, err
+		}
+		c, err := NewTPCCluster(d, numSites, net)
+		if err != nil {
+			return nil, err
+		}
+		unopt, err := measure(c, q, plan.None(), "unoptimized", s)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := measure(c, q, plan.All(), "optimized", s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unopt, opt)
+	}
+	return out, nil
+}
+
+// FormulaCheck is the Sect. 5.2 analytic result: the proportion of groups
+// transferred with site-side group reduction versus without is
+// (2c + 2n + 1)/(4n + 1), where n is the number of sites, g the number of
+// groups per site, and c the average fraction of a site's groups returned
+// per grouping-variable round. The paper reports the formula matching the
+// measurements within 5%.
+type FormulaCheck struct {
+	N         int
+	C         float64
+	Measured  float64 // rows(with reduction) / rows(without)
+	Predicted float64 // (2c + 2n + 1) / (4n + 1)
+}
+
+// RelError returns |measured - predicted| / predicted.
+func (f FormulaCheck) RelError() float64 {
+	if f.Predicted == 0 {
+		return 0
+	}
+	d := f.Measured - f.Predicted
+	if d < 0 {
+		d = -d
+	}
+	return d / f.Predicted
+}
+
+// Fig2Formula measures the group-transfer ratio at n sites and evaluates the
+// analytic formula against it.
+func Fig2Formula(d *tpc.Dataset, n int, net stats.NetModel) (FormulaCheck, error) {
+	q := TwoPhaseQuery(HighCardAttr, true)
+	c, err := NewTPCCluster(d, n, net)
+	if err != nil {
+		return FormulaCheck{}, err
+	}
+	base, err := measure(c, q, plan.None(), "none", n)
+	if err != nil {
+		return FormulaCheck{}, err
+	}
+	red, err := measure(c, q, plan.Options{GroupReduceSite: true}, "site", n)
+	if err != nil {
+		return FormulaCheck{}, err
+	}
+	// g = groups per site = |Q| / n (CustName is partition-aligned, so the
+	// groups divide evenly across the participating sites).
+	gTotal := float64(red.Groups)
+	gSite := gTotal / float64(n)
+	// The reduced run's sites→coordinator rows are: gTotal from the base
+	// round, plus the guarded H rows of the two operator rounds. c is the
+	// average fraction of a site's g groups returned per operator round.
+	mdUp := float64(red.RowsUp) - gTotal
+	cFrac := mdUp / (2 * float64(n) * gSite)
+	return FormulaCheck{
+		N:         n,
+		C:         cFrac,
+		Measured:  float64(red.Rows) / float64(base.Rows),
+		Predicted: (2*cFrac + 2*float64(n) + 1) / (4*float64(n) + 1),
+	}, nil
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Filter returns the rows of one series, ordered by X.
+func Filter(rows []Row, series string) []Row {
+	var out []Row
+	for _, r := range rows {
+		if r.Series == series {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return out
+}
+
+// Series lists the distinct series names in first-appearance order.
+func Series(rows []Row) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, r := range rows {
+		if _, ok := seen[r.Series]; !ok {
+			seen[r.Series] = struct{}{}
+			out = append(out, r.Series)
+		}
+	}
+	return out
+}
+
+// Metric selectors for shape analysis.
+var (
+	MetricTime  = func(r Row) float64 { return float64(r.Time) }
+	MetricBytes = func(r Row) float64 { return float64(r.Bytes) }
+	MetricRows  = func(r Row) float64 { return float64(r.Rows) }
+)
+
+// GrowthRatio measures how a series' metric grows from X = hi/2 to X = hi:
+// ≈2 indicates linear growth, ≈4 quadratic. It is how the tests and
+// EXPERIMENTS.md classify the curve shapes the paper describes.
+func GrowthRatio(rows []Row, series string, hi int, metric func(Row) float64) (float64, error) {
+	sr := Filter(rows, series)
+	var yHi, yMid float64
+	var haveHi, haveMid bool
+	for _, r := range sr {
+		if r.X == hi {
+			yHi, haveHi = metric(r), true
+		}
+		if r.X == hi/2 {
+			yMid, haveMid = metric(r), true
+		}
+	}
+	if !haveHi || !haveMid {
+		return 0, fmt.Errorf("bench: series %q lacks points at %d and %d", series, hi, hi/2)
+	}
+	if yMid == 0 {
+		return 0, fmt.Errorf("bench: series %q is zero at %d", series, hi/2)
+	}
+	return yHi / yMid, nil
+}
+
+// Render formats the rows of an experiment as an aligned table grouped by
+// series, in the units the corresponding paper figure uses (time and bytes;
+// group rows and the breakdown are included for the analyses).
+func Render(title string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	for _, s := range Series(rows) {
+		fmt.Fprintf(&b, "-- %s --\n", s)
+		fmt.Fprintf(&b, "%4s %12s %12s %10s %8s %7s %12s %12s %12s\n",
+			"x", "time", "bytes", "rows", "groups", "rounds", "site", "coord", "comm")
+		for _, r := range Filter(rows, s) {
+			fmt.Fprintf(&b, "%4d %12s %12d %10d %8d %7d %12s %12s %12s\n",
+				r.X, fmtDur(r.Time), r.Bytes, r.Rows, r.Groups, r.Rounds,
+				fmtDur(r.SiteTime), fmtDur(r.CoordTime), fmtDur(r.CommTime))
+		}
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,348 @@
+// Package core implements the Skalla coordinator: Alg. GMDJDistribEval of
+// Sect. 3. The coordinator compiles a distributed plan (internal/plan),
+// drives the per-round exchange with the sites (internal/transport), and
+// synchronizes the sites' sub-aggregate relations into the base-result
+// structure X per Theorem 1, recording the full cost breakdown
+// (internal/stats).
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"skalla/internal/distrib"
+	"skalla/internal/engine"
+	"skalla/internal/gmdj"
+	"skalla/internal/plan"
+	"skalla/internal/relation"
+	"skalla/internal/stats"
+	"skalla/internal/transport"
+)
+
+// Coordinator executes complex GMDJ expressions against a set of Skalla
+// sites.
+type Coordinator struct {
+	sites     []transport.Site
+	cat       *distrib.Catalog
+	net       stats.NetModel
+	blockRows int
+	tracer    Tracer
+}
+
+// New creates a coordinator. cat may be nil (no distribution knowledge); net
+// may be the zero model (no modeled communication time).
+func New(sites []transport.Site, cat *distrib.Catalog, net stats.NetModel) (*Coordinator, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("core: coordinator needs at least one site")
+	}
+	return &Coordinator{sites: sites, cat: cat, net: net}, nil
+}
+
+// SetRowBlocking makes the sites return H_i in blocks of at most rows rows
+// (Sect. 3.2 row blocking); the coordinator synchronizes blocks as they
+// arrive in either mode. Zero (the default) ships each H_i whole.
+func (c *Coordinator) SetRowBlocking(rows int) { c.blockRows = rows }
+
+// NumSites returns the number of attached sites.
+func (c *Coordinator) NumSites() int { return len(c.sites) }
+
+// Result is the outcome of one distributed evaluation.
+type Result struct {
+	Rel     *relation.Relation
+	Metrics *stats.Metrics
+	Plan    *plan.Plan
+}
+
+// schemaSource adapts site 0 into a gmdj.SchemaSource with caching, so
+// planning can resolve detail schemas without repeated metadata calls.
+type schemaSource struct {
+	ctx   context.Context
+	site  transport.Site
+	mu    sync.Mutex
+	cache map[string]relation.Schema
+}
+
+func (s *schemaSource) DetailSchema(name string) (relation.Schema, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sch, ok := s.cache[name]; ok {
+		return sch, nil
+	}
+	sch, err := s.site.DetailSchema(s.ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[name] = sch
+	return sch, nil
+}
+
+// SchemaSource returns a caching schema source backed by the first site.
+func (c *Coordinator) SchemaSource(ctx context.Context) gmdj.SchemaSource {
+	return &schemaSource{ctx: ctx, site: c.sites[0], cache: make(map[string]relation.Schema)}
+}
+
+// Plan compiles the distributed plan for a query without executing it.
+func (c *Coordinator) Plan(ctx context.Context, q gmdj.Query, opts plan.Options) (*plan.Plan, error) {
+	return plan.New(q, c.SchemaSource(ctx), c.cat, len(c.sites), opts)
+}
+
+// Execute evaluates a complex GMDJ expression and returns the result
+// relation together with the full metrics record.
+func (c *Coordinator) Execute(ctx context.Context, q gmdj.Query, opts plan.Options) (*Result, error) {
+	src := c.SchemaSource(ctx)
+	pl, err := plan.New(q, src, c.cat, len(c.sites), opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.ExecutePlan(ctx, pl, src)
+}
+
+// ExecutePlan runs a pre-compiled plan.
+func (c *Coordinator) ExecutePlan(ctx context.Context, pl *plan.Plan, src gmdj.SchemaSource) (*Result, error) {
+	segs, err := buildSegments(pl.Query, src, len(pl.Keys()))
+	if err != nil {
+		return nil, err
+	}
+	mg := newMerger(pl.Keys(), pl.XSchemas, segs)
+	metrics := stats.NewMetrics(c.net)
+
+	startOp := 0
+	switch {
+	case pl.LocalPrefix > 0:
+		// Thm. 5 / Cor. 1 family: the leading LocalPrefix operators run
+		// entirely at the sites, synchronized once.
+		name := fmt.Sprintf("local-MD1..MD%d", pl.LocalPrefix)
+		if pl.FullLocal {
+			name = "local-all"
+		}
+		if err := c.localRound(ctx, pl, mg, metrics, pl.LocalPrefix, name); err != nil {
+			return nil, err
+		}
+		startOp = pl.LocalPrefix
+	case pl.SkipBaseSync:
+		// Prop. 2: the base sync folds into the first operator's round.
+		if err := c.localRound(ctx, pl, mg, metrics, 1, "base+MD1"); err != nil {
+			return nil, err
+		}
+		startOp = 1
+	default:
+		if err := c.baseRound(ctx, pl, mg, metrics); err != nil {
+			return nil, err
+		}
+	}
+	for k := startOp; k < len(pl.Query.Ops); k++ {
+		if err := c.operatorRound(ctx, pl, mg, metrics, k); err != nil {
+			return nil, err
+		}
+	}
+
+	final, err := mg.Finalize(gmdj.FinalColumns(pl.Query))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rel: final, Metrics: metrics, Plan: pl}, nil
+}
+
+// siteResult is one site's response within a round.
+type siteResult struct {
+	rel  *relation.Relation
+	call stats.Call
+	err  error
+}
+
+// broadcast runs f against every site in parallel and gathers the results in
+// site order. The first error is returned after all calls complete.
+func (c *Coordinator) broadcast(f func(i int, s transport.Site) (*relation.Relation, stats.Call, error)) ([]siteResult, error) {
+	results := make([]siteResult, len(c.sites))
+	var wg sync.WaitGroup
+	for i, s := range c.sites {
+		wg.Add(1)
+		go func(i int, s transport.Site) {
+			defer wg.Done()
+			rel, call, err := f(i, s)
+			results[i] = siteResult{rel: rel, call: call, err: err}
+		}(i, s)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	return results, nil
+}
+
+// baseRound is round 0 of the unreduced algorithm: every site computes its
+// base-values fragment B_i; the coordinator unions and de-duplicates them
+// into X_0.
+func (c *Coordinator) baseRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics) error {
+	c.traceRoundStart("base", 0)
+	results, err := c.broadcast(func(_ int, s transport.Site) (*relation.Relation, stats.Call, error) {
+		return s.EvalBase(ctx, pl.Query.Base)
+	})
+	if err != nil {
+		return err
+	}
+	round := stats.RoundStat{Name: "base"}
+	coordStart := time.Now()
+	union := relation.New(pl.XSchemas[0])
+	for _, r := range results {
+		round.Calls = append(round.Calls, r.call)
+		if err := union.Union(r.rel); err != nil {
+			return err
+		}
+	}
+	if err := mg.InitBase(union); err != nil {
+		return err
+	}
+	round.CoordTime = time.Since(coordStart)
+	metrics.AddRound(round)
+	c.traceCalls(round.Name, round.Calls)
+	c.traceRoundEnd(round)
+	return nil
+}
+
+// localRound ships the query prefix to every site for local evaluation and
+// merges the returned X fragments (synchronization-reduced rounds of
+// Prop. 2 / Cor. 1).
+func (c *Coordinator) localRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, upTo int, name string) error {
+	c.traceRoundStart(name, 0)
+	req := engine.LocalRequest{Query: pl.Query, UpTo: upTo}
+	results, err := c.broadcast(func(_ int, s transport.Site) (*relation.Relation, stats.Call, error) {
+		return s.EvalLocal(ctx, req)
+	})
+	if err != nil {
+		return err
+	}
+	round := stats.RoundStat{Name: name}
+	coordStart := time.Now()
+	if err := mg.InitLocal(upTo); err != nil {
+		return err
+	}
+	for _, r := range results {
+		round.Calls = append(round.Calls, r.call)
+		if err := mg.MergeLocal(r.rel); err != nil {
+			return err
+		}
+	}
+	mg.RecomputeDerived(upTo)
+	round.CoordTime = time.Since(coordStart)
+	metrics.AddRound(round)
+	c.traceCalls(round.Name, round.Calls)
+	c.traceRoundEnd(round)
+	return nil
+}
+
+// operatorRound is one round of Alg. GMDJDistribEval for operator k: the
+// coordinator ships the base-result structure (reduced per Thm. 4 when a
+// reducer is available) to each site, the sites compute sub-aggregates
+// (guard-filtered per Prop. 1 when enabled), and the coordinator
+// synchronizes the H_i into X.
+//
+// Synchronization is streaming (Sect. 3.2): each site's H_i — in row blocks
+// when row blocking is on — is merged as it arrives, while slower sites are
+// still computing. The key-indexed merge makes each block O(|block|).
+func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, k int) error {
+	op := pl.Query.Ops[k]
+	roundName := fmt.Sprintf("MD%d", k+1)
+	c.traceRoundStart(roundName, mg.X().Len())
+	// A stable snapshot of X: fragments reference it while the live X is
+	// extended and mutated by the streaming merge.
+	snap := mg.Snapshot()
+
+	fragments := make([]*relation.Relation, len(c.sites))
+	var reducers []distrib.ReductionPred
+	if pl.Reducers != nil && k < len(pl.Reducers) {
+		reducers = pl.Reducers[k]
+	}
+	for i := range c.sites {
+		if reducers == nil {
+			fragments[i] = snap
+			continue
+		}
+		pred := reducers[i]
+		frag := relation.New(snap.Schema)
+		for _, row := range snap.Tuples {
+			keep, err := pred(row)
+			if err != nil {
+				return err
+			}
+			if keep {
+				frag.Tuples = append(frag.Tuples, row)
+			}
+		}
+		fragments[i] = frag
+	}
+
+	// Extend X with the operator's identity columns before any block lands.
+	var coordTime time.Duration
+	t0 := time.Now()
+	if err := mg.Extend(); err != nil {
+		return err
+	}
+	coordTime += time.Since(t0)
+
+	blocks := make(chan *relation.Relation, 2*len(c.sites))
+	calls := make([]stats.Call, len(c.sites))
+	errs := make([]error, len(c.sites))
+	var wg sync.WaitGroup
+	for i, s := range c.sites {
+		wg.Add(1)
+		go func(i int, s transport.Site) {
+			defer wg.Done()
+			call, err := s.EvalOperatorStream(ctx, engine.OperatorRequest{
+				Base:      fragments[i],
+				Op:        op,
+				Keys:      pl.Keys(),
+				Guard:     pl.Opts.GroupReduceSite,
+				BlockRows: c.blockRows,
+			}, func(block *relation.Relation) error {
+				blocks <- block
+				return nil
+			})
+			calls[i], errs[i] = call, err
+		}(i, s)
+	}
+	go func() {
+		wg.Wait()
+		close(blocks)
+	}()
+
+	var mergeErr error
+	for b := range blocks {
+		if mergeErr != nil {
+			continue // drain so senders never block
+		}
+		t0 := time.Now()
+		mergeErr = mg.MergeH(b, k)
+		coordTime += time.Since(t0)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if mergeErr != nil {
+		return mergeErr
+	}
+
+	t0 = time.Now()
+	mg.RecomputeDerived(k + 1)
+	coordTime += time.Since(t0)
+	round := stats.RoundStat{Name: roundName, Calls: calls, CoordTime: coordTime}
+	metrics.AddRound(round)
+	c.traceCalls(roundName, calls)
+	c.traceRoundEnd(round)
+	return nil
+}
+
+// TrafficBound computes the Theorem 2 bound on the number of base-structure
+// rows transferred by Alg. GMDJDistribEval: Σ_{i=1..m} (2·s_i·|Q|) + s_0·|Q|,
+// with s_i the number of sites participating in round i and |Q| the number
+// of groups in the result.
+func TrafficBound(pl *plan.Plan, resultGroups int) int {
+	m := len(pl.Query.Ops)
+	return (2*m + 1) * pl.NumSites * resultGroups
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"skalla/internal/engine"
+	"skalla/internal/gmdj"
+	"skalla/internal/plan"
+	"skalla/internal/relation"
+	"skalla/internal/stats"
+	"skalla/internal/transport"
+)
+
+// faultSite wraps a transport.Site and injects failures: errors after a call
+// budget, or corrupted H relations.
+type faultSite struct {
+	transport.Site
+	failAfter  int32 // fail calls once the counter exceeds this (<0: never)
+	calls      int32
+	corruptKey bool // return H rows with keys not present in X
+	corruptSch bool // return H with a wrong schema
+}
+
+var errInjected = errors.New("injected site failure")
+
+func (f *faultSite) bump() error {
+	n := atomic.AddInt32(&f.calls, 1)
+	if f.failAfter >= 0 && n > f.failAfter {
+		return errInjected
+	}
+	return nil
+}
+
+func (f *faultSite) EvalBase(ctx context.Context, bq gmdj.BaseQuery) (*relation.Relation, stats.Call, error) {
+	if err := f.bump(); err != nil {
+		return nil, stats.Call{}, err
+	}
+	return f.Site.EvalBase(ctx, bq)
+}
+
+func (f *faultSite) EvalOperator(ctx context.Context, req engine.OperatorRequest) (*relation.Relation, stats.Call, error) {
+	var h *relation.Relation
+	call, err := f.EvalOperatorStream(ctx, req, func(b *relation.Relation) error {
+		if h == nil {
+			h = b
+			return nil
+		}
+		return h.Union(b)
+	})
+	return h, call, err
+}
+
+func (f *faultSite) EvalOperatorStream(ctx context.Context, req engine.OperatorRequest, sink func(*relation.Relation) error) (stats.Call, error) {
+	if err := f.bump(); err != nil {
+		return stats.Call{}, err
+	}
+	return f.Site.EvalOperatorStream(ctx, req, func(b *relation.Relation) error {
+		if f.corruptSch && b.Len() > 0 {
+			bad := relation.New(relation.MustSchema(relation.Column{Name: "zz", Kind: relation.KindInt}))
+			bad.MustAppend(relation.Tuple{relation.NewInt(1)})
+			return sink(bad)
+		}
+		if f.corruptKey && b.Len() > 0 {
+			bad := b.Clone()
+			bad.Tuples[0][0] = relation.NewInt(999999)
+			return sink(bad)
+		}
+		return sink(b)
+	})
+}
+
+func (f *faultSite) EvalLocal(ctx context.Context, req engine.LocalRequest) (*relation.Relation, stats.Call, error) {
+	if err := f.bump(); err != nil {
+		return nil, stats.Call{}, err
+	}
+	return f.Site.EvalLocal(ctx, req)
+}
+
+func faultCluster(t *testing.T, failAfter int32, corruptKey, corruptSch bool) *Coordinator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	global := randomGlobal(rng, 80, 12)
+	sites, cat := buildCluster(t, global, "T", 3, 4, true)
+	// Wrap only site 1, so failures are partial.
+	sites[1] = &faultSite{Site: sites[1], failAfter: failAfter, corruptKey: corruptKey, corruptSch: corruptSch}
+	coord, err := New(sites, cat, stats.NetModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+// A site failing at any round must surface a clean error for every
+// optimization combination — never a hang, panic, or silent wrong answer.
+func TestSiteFailureSurfacesError(t *testing.T) {
+	for failAfter := int32(0); failAfter <= 3; failAfter++ {
+		coord := faultCluster(t, failAfter, false, false)
+		for _, opts := range allOptionCombos() {
+			_, err := coord.Execute(context.Background(), chainQuery(), opts)
+			// With generous budgets some plans finish (full-local plans make
+			// only one call per site); if an error comes back it must be ours.
+			if err != nil && !errors.Is(err, errInjected) && !strings.Contains(err.Error(), "injected") {
+				t.Fatalf("failAfter=%d [%s]: unexpected error %v", failAfter, opts, err)
+			}
+			if failAfter == 0 && err == nil {
+				t.Fatalf("failAfter=0 [%s]: expected failure", opts)
+			}
+		}
+	}
+}
+
+// Corrupted synchronization input (keys not present in X) must be detected
+// by the merger rather than silently dropped.
+func TestCorruptKeyDetected(t *testing.T) {
+	coord := faultCluster(t, -1, true, false)
+	_, err := coord.Execute(context.Background(), chainQuery(), plan.None())
+	if err == nil || !strings.Contains(err.Error(), "not in X") {
+		t.Errorf("corrupt key: err = %v", err)
+	}
+}
+
+// A wrong-schema H must be rejected (arity mismatch is caught during merge).
+func TestCorruptSchemaDetected(t *testing.T) {
+	coord := faultCluster(t, -1, false, true)
+	_, err := coord.Execute(context.Background(), chainQuery(), plan.None())
+	if err == nil {
+		t.Error("corrupt schema: expected error")
+	}
+}
+
+// A TCP site process dying mid-conversation must produce a transport error,
+// and other queries against remaining connections must not be affected.
+func TestTCPSiteDeath(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	global := randomGlobal(rng, 50, 12)
+	gi := global.Schema.MustIndex("g")
+
+	var sites []transport.Site
+	var servers []*transport.Server
+	for i := 0; i < 2; i++ {
+		lo, hi := int64(i)*6, int64(i)*6+5
+		es := engine.NewSite(i)
+		part := global.Filter(func(tp relation.Tuple) bool { return tp[gi].Int >= lo && tp[gi].Int <= hi })
+		if err := es.Load("T", part); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := transport.Serve(es, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		cli, err := transport.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		sites = append(sites, cli)
+	}
+	defer servers[0].Close()
+
+	coord, _ := New(sites, nil, stats.NetModel{})
+	if _, err := coord.Execute(context.Background(), chainQuery(), plan.None()); err != nil {
+		t.Fatalf("healthy run failed: %v", err)
+	}
+	// Kill site 1's server; the next query must fail cleanly.
+	servers[1].Close()
+	if _, err := coord.Execute(context.Background(), chainQuery(), plan.None()); err == nil {
+		t.Error("query against dead site must fail")
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"skalla/internal/agg"
+	"skalla/internal/gmdj"
+	"skalla/internal/relation"
+)
+
+// varSegment locates one grouping variable's aggregate columns inside the
+// base-result structure X.
+type varSegment struct {
+	layout    *agg.Layout
+	physStart int // absolute column index of the first physical column
+	derStart  int // absolute column index of the first derived column
+}
+
+// buildSegments compiles the per-operator column segments of the final X
+// layout for a query: base columns first, then per operator, per variable,
+// physical columns followed by derived columns.
+func buildSegments(q gmdj.Query, src gmdj.SchemaSource, numBaseCols int) ([][]varSegment, error) {
+	segs := make([][]varSegment, len(q.Ops))
+	cursor := numBaseCols
+	for k, op := range q.Ops {
+		detail, err := src.DetailSchema(op.Detail)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range op.Vars {
+			layout, err := agg.NewLayout(v.Aggs, detail)
+			if err != nil {
+				return nil, err
+			}
+			seg := varSegment{layout: layout, physStart: cursor}
+			cursor += len(layout.Phys)
+			seg.derStart = cursor
+			cursor += len(layout.Derived)
+			segs[k] = append(segs[k], seg)
+		}
+	}
+	return segs, nil
+}
+
+// merger maintains the coordinator's base-result structure X, indexed on the
+// base key attributes K, and implements the synchronization of Theorem 1:
+// merging an incoming sub-aggregate relation H runs in O(|H|) via the key
+// index, applying the super-aggregate of each physical column.
+type merger struct {
+	keys     []string
+	xschemas []relation.Schema
+	segs     [][]varSegment
+
+	x        *relation.Relation
+	keyIdx   []int // key column positions within x
+	index    *relation.KeyIndex
+	extended int // number of operators whose columns exist in x
+}
+
+func newMerger(keys []string, xschemas []relation.Schema, segs [][]varSegment) *merger {
+	return &merger{keys: keys, xschemas: xschemas, segs: segs}
+}
+
+// InitBase installs the synchronized base-values relation: the multiset
+// union of the sites' B_i fragments, de-duplicated on the key attributes.
+func (m *merger) InitBase(b *relation.Relation) error {
+	if !b.Schema.Equal(m.xschemas[0]) {
+		return fmt.Errorf("core: base schema %s, want %s", b.Schema, m.xschemas[0])
+	}
+	if err := b.DedupBy(m.keys); err != nil {
+		return err
+	}
+	m.x = b
+	m.extended = 0
+	return m.reindex()
+}
+
+// InitLocal prepares an empty X at the schema reached after upTo operators;
+// local evaluation results are then merged with MergeLocal.
+func (m *merger) InitLocal(upTo int) error {
+	m.x = relation.New(m.xschemas[upTo])
+	m.extended = upTo
+	return m.reindex()
+}
+
+func (m *merger) reindex() error {
+	idx, err := m.x.Schema.Indexes(m.keys)
+	if err != nil {
+		return err
+	}
+	m.keyIdx = idx
+	ki, err := relation.BuildKeyIndex(m.x, m.keys)
+	if err != nil {
+		return err
+	}
+	m.index = ki
+	return nil
+}
+
+// X returns the current base-result structure (read-only between rounds;
+// callers must not mutate it while site calls are in flight).
+func (m *merger) X() *relation.Relation { return m.x }
+
+// Extended returns how many operators' columns X currently carries.
+func (m *merger) Extended() int { return m.extended }
+
+// Extend appends operator k's identity aggregate columns (COUNT 0, others
+// NULL, derived NULL) to every row, growing X's schema by one operator.
+// Groups no site reports on — e.g. under group reduction — thereby keep the
+// correct empty-range aggregates.
+func (m *merger) Extend() error {
+	k := m.extended
+	if k >= len(m.segs) {
+		return fmt.Errorf("core: extend past last operator (%d)", k)
+	}
+	ident := m.identityFor(k)
+	for i, row := range m.x.Tuples {
+		// Build each extended row in a fresh backing array: in-flight
+		// serialization of pre-extension fragments may still be reading the
+		// old arrays while streamed synchronization writes the new ones.
+		nrow := make(relation.Tuple, 0, len(row)+len(ident))
+		nrow = append(nrow, row...)
+		nrow = append(nrow, ident.Clone()...)
+		m.x.Tuples[i] = nrow
+	}
+	m.x.Schema = m.xschemas[k+1]
+	m.extended++
+	return nil
+}
+
+// Snapshot returns a read-only view of the current X (independent header
+// and row-pointer slice) that stays stable across a subsequent Extend; the
+// operator rounds ship fragments of it while the live X grows.
+func (m *merger) Snapshot() *relation.Relation {
+	tuples := make([]relation.Tuple, len(m.x.Tuples))
+	copy(tuples, m.x.Tuples)
+	return &relation.Relation{Schema: m.x.Schema, Tuples: tuples}
+}
+
+// identityFor builds the identity slice (phys + derived) for operator k.
+func (m *merger) identityFor(k int) relation.Tuple {
+	var ident relation.Tuple
+	for _, seg := range m.segs[k] {
+		ident = append(ident, seg.layout.Identity()...)
+		ident = append(ident, seg.layout.ComputeDerived(seg.layout.Identity())...)
+	}
+	return ident
+}
+
+// MergeH synchronizes one site's sub-aggregate relation H_i for operator k
+// into X. H rows carry the key attributes followed by the operator's
+// physical columns; rows for unknown keys are an internal error (fragments
+// are derived from X, so every returned key must exist).
+func (m *merger) MergeH(h *relation.Relation, k int) error {
+	if k != m.extended-1 {
+		return fmt.Errorf("core: merging operator %d into X extended to %d", k+1, m.extended)
+	}
+	// Validate the incoming schema: key attributes in key order, followed by
+	// the operator's physical columns. A site returning anything else (bug
+	// or corruption) must be rejected, not merged.
+	want := len(m.keys)
+	for _, seg := range m.segs[k] {
+		want += len(seg.layout.Phys)
+	}
+	if len(h.Schema) != want {
+		return fmt.Errorf("core: sync: H has %d columns, want %d", len(h.Schema), want)
+	}
+	for i, key := range m.keys {
+		if h.Schema[i].Name != key {
+			return fmt.Errorf("core: sync: H column %d is %q, want key %q", i, h.Schema[i].Name, key)
+		}
+	}
+	for i, t := range h.Tuples {
+		if len(t) != want {
+			return fmt.Errorf("core: sync: H row %d has arity %d, want %d", i, len(t), want)
+		}
+	}
+	hKeyIdx := make([]int, len(m.keys))
+	for i := range m.keys {
+		hKeyIdx[i] = i // H rows lead with the key attributes in key order
+	}
+	for _, hrow := range h.Tuples {
+		xi, err := m.index.Unique(hrow, hKeyIdx)
+		if err != nil {
+			return fmt.Errorf("core: sync: H row key not in X: %w", err)
+		}
+		xrow := m.x.Tuples[xi]
+		cursor := len(m.keys)
+		for _, seg := range m.segs[k] {
+			n := len(seg.layout.Phys)
+			if err := seg.layout.MergePhys(xrow[seg.physStart:seg.physStart+n], hrow[cursor:cursor+n]); err != nil {
+				return err
+			}
+			cursor += n
+		}
+	}
+	return nil
+}
+
+// MergeLocal synchronizes one site's locally evaluated X fragment (schema =
+// current X schema): new keys are appended, existing keys have every
+// operator segment's physical columns merged. Used by the synchronization-
+// reduced plans (Prop. 2 / Cor. 1).
+func (m *merger) MergeLocal(xl *relation.Relation) error {
+	if !xl.Schema.Equal(m.x.Schema) {
+		return fmt.Errorf("core: local X schema %s, want %s", xl.Schema, m.x.Schema)
+	}
+	for i, t := range xl.Tuples {
+		if len(t) != len(xl.Schema) {
+			return fmt.Errorf("core: sync: local X row %d has arity %d, want %d", i, len(t), len(xl.Schema))
+		}
+	}
+	for _, lrow := range xl.Tuples {
+		rows := m.index.Lookup(lrow, m.keyIdx)
+		switch len(rows) {
+		case 0:
+			nrow := lrow.Clone()
+			m.x.Tuples = append(m.x.Tuples, nrow)
+			m.index.Add(nrow, len(m.x.Tuples)-1)
+		case 1:
+			xrow := m.x.Tuples[rows[0]]
+			for k := 0; k < m.extended; k++ {
+				for _, seg := range m.segs[k] {
+					n := len(seg.layout.Phys)
+					if err := seg.layout.MergePhys(xrow[seg.physStart:seg.physStart+n], lrow[seg.physStart:seg.physStart+n]); err != nil {
+						return err
+					}
+				}
+			}
+		default:
+			return fmt.Errorf("core: sync: duplicate key in X")
+		}
+	}
+	return nil
+}
+
+// RecomputeDerived refreshes the derived (AVG) columns of operators
+// [0, upTo) for every row; called after each synchronization so subsequent
+// conditions and the final output see correct averages.
+func (m *merger) RecomputeDerived(upTo int) {
+	for _, row := range m.x.Tuples {
+		for k := 0; k < upTo; k++ {
+			for _, seg := range m.segs[k] {
+				n := len(seg.layout.Phys)
+				der := seg.layout.ComputeDerived(row[seg.physStart : seg.physStart+n])
+				copy(row[seg.derStart:seg.derStart+len(der)], der)
+			}
+		}
+	}
+}
+
+// Finalize projects X onto the logical output columns.
+func (m *merger) Finalize(cols []string) (*relation.Relation, error) {
+	return m.x.Project(cols)
+}

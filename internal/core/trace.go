@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"skalla/internal/stats"
+)
+
+// Tracer observes a distributed evaluation as it progresses: one RoundStart
+// per synchronization round, one SiteCall per completed site exchange, and a
+// RoundEnd with the round's aggregate statistics. Implementations are called
+// sequentially from the coordinator's control loop (never concurrently).
+type Tracer interface {
+	// RoundStart announces a round and the number of base-structure rows the
+	// coordinator currently holds.
+	RoundStart(name string, xRows int)
+	// SiteCall reports one completed coordinator↔site exchange.
+	SiteCall(name string, call stats.Call)
+	// RoundEnd reports the completed round.
+	RoundEnd(round stats.RoundStat)
+}
+
+// SetTracer attaches an execution tracer (nil detaches). Tracing is
+// observational only; it never changes plans or results.
+func (c *Coordinator) SetTracer(t Tracer) { c.tracer = t }
+
+// traceRoundStart/SiteCalls/RoundEnd are nil-safe helpers.
+func (c *Coordinator) traceRoundStart(name string, xRows int) {
+	if c.tracer != nil {
+		c.tracer.RoundStart(name, xRows)
+	}
+}
+
+func (c *Coordinator) traceCalls(name string, calls []stats.Call) {
+	if c.tracer == nil {
+		return
+	}
+	for _, call := range calls {
+		c.tracer.SiteCall(name, call)
+	}
+}
+
+func (c *Coordinator) traceRoundEnd(round stats.RoundStat) {
+	if c.tracer != nil {
+		c.tracer.RoundEnd(round)
+	}
+}
+
+// WriterTracer renders trace events as indented lines on an io.Writer. It is
+// safe for concurrent use (a mutex serializes writes), so one instance can
+// be shared across coordinators.
+type WriterTracer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterTracer wraps a writer.
+func NewWriterTracer(w io.Writer) *WriterTracer { return &WriterTracer{w: w} }
+
+// RoundStart implements Tracer.
+func (t *WriterTracer) RoundStart(name string, xRows int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "round %s: start (X holds %d rows)\n", name, xRows)
+}
+
+// SiteCall implements Tracer.
+func (t *WriterTracer) SiteCall(name string, call stats.Call) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "round %s: site %d  down %dB/%d rows  up %dB/%d rows  compute %s\n",
+		name, call.Site, call.BytesDown, call.RowsDown, call.BytesUp, call.RowsUp,
+		call.Compute.Round(10*time.Microsecond))
+}
+
+// RoundEnd implements Tracer.
+func (t *WriterTracer) RoundEnd(round stats.RoundStat) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "round %s: done  %dB down, %dB up, coordinator %s\n",
+		round.Name, round.BytesDown(), round.BytesUp(), round.CoordTime.Round(10*time.Microsecond))
+}

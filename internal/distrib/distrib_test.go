@@ -1,0 +1,235 @@
+package distrib
+
+import (
+	"strings"
+	"testing"
+
+	"skalla/internal/relation"
+)
+
+func TestIntRange(t *testing.T) {
+	r := IntRange{Lo: 1, Hi: 25}
+	if !r.Contains(relation.NewInt(1)) || !r.Contains(relation.NewInt(25)) || !r.Contains(relation.NewFloat(12.5)) {
+		t.Error("IntRange.Contains inside")
+	}
+	if r.Contains(relation.NewInt(0)) || r.Contains(relation.NewInt(26)) || r.Contains(relation.NewString("5")) {
+		t.Error("IntRange.Contains outside")
+	}
+	lo, hi, ok := r.Bounds()
+	if !ok || lo != 1 || hi != 25 {
+		t.Errorf("Bounds = %v,%v,%v", lo, hi, ok)
+	}
+	if r.String() != "[1,25]" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestValueSet(t *testing.T) {
+	s := NewValueSet(relation.NewInt(3), relation.NewInt(7))
+	if !s.Contains(relation.NewInt(3)) || s.Contains(relation.NewInt(4)) {
+		t.Error("ValueSet.Contains")
+	}
+	lo, hi, ok := s.Bounds()
+	if !ok || lo != 3 || hi != 7 {
+		t.Errorf("Bounds = %v,%v,%v", lo, hi, ok)
+	}
+	strSet := NewValueSet(relation.NewString("a"))
+	if _, _, ok := strSet.Bounds(); ok {
+		t.Error("string set must have no numeric bounds")
+	}
+	if _, _, ok := (ValueSet{}).Bounds(); ok {
+		t.Error("empty set must have no bounds")
+	}
+	if got := NewValueSet(relation.NewInt(2), relation.NewInt(1)).String(); got != "{1,2}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func rangePartition(rel, attr string, n int, per int64) *Distribution {
+	filters := make([]SiteFilter, n)
+	for i := range filters {
+		filters[i] = IntRange{Lo: int64(i) * per, Hi: int64(i+1)*per - 1}
+	}
+	return &Distribution{
+		Relation: rel,
+		NumSites: n,
+		Attrs:    []AttrInfo{{Attr: attr, Filters: filters, Disjoint: true}},
+	}
+}
+
+func TestDistributionValidate(t *testing.T) {
+	d := rangePartition("T", "nk", 4, 10)
+	if err := d.Validate(); err != nil {
+		t.Errorf("valid distribution rejected: %v", err)
+	}
+	bad := &Distribution{Relation: "T", NumSites: 2, Attrs: []AttrInfo{{
+		Attr:     "nk",
+		Disjoint: true,
+		Filters:  []SiteFilter{IntRange{0, 10}, IntRange{5, 15}},
+	}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("overlapping disjoint filters must be rejected")
+	}
+	if err := (&Distribution{Relation: "T", NumSites: 0}).Validate(); err == nil {
+		t.Error("zero sites must be rejected")
+	}
+	wrongLen := &Distribution{Relation: "T", NumSites: 3, Attrs: []AttrInfo{{
+		Attr: "nk", Filters: []SiteFilter{IntRange{0, 1}},
+	}}}
+	if err := wrongLen.Validate(); err == nil {
+		t.Error("filter count mismatch must be rejected")
+	}
+	// Disjoint sets validate.
+	sets := &Distribution{Relation: "T", NumSites: 2, Attrs: []AttrInfo{{
+		Attr: "nk", Disjoint: true,
+		Filters: []SiteFilter{NewValueSet(relation.NewInt(1)), NewValueSet(relation.NewInt(2))},
+	}}}
+	if err := sets.Validate(); err != nil {
+		t.Errorf("disjoint sets rejected: %v", err)
+	}
+	// Overlapping set/range mix detected.
+	mix := &Distribution{Relation: "T", NumSites: 2, Attrs: []AttrInfo{{
+		Attr: "nk", Disjoint: true,
+		Filters: []SiteFilter{IntRange{0, 5}, NewValueSet(relation.NewInt(3))},
+	}}}
+	if err := mix.Validate(); err == nil {
+		t.Error("range/set overlap must be rejected")
+	}
+	// nil filter on a disjoint attr overlaps everything.
+	nilf := &Distribution{Relation: "T", NumSites: 2, Attrs: []AttrInfo{{
+		Attr: "nk", Disjoint: true,
+		Filters: []SiteFilter{nil, IntRange{0, 5}},
+	}}}
+	if err := nilf.Validate(); err == nil {
+		t.Error("nil filter on disjoint attr must be rejected")
+	}
+}
+
+func TestPartitionAttrsFDClosure(t *testing.T) {
+	d := rangePartition("T", "NationKey", 4, 10)
+	d.FDs = []FD{
+		{From: "CustKey", To: "NationKey"},
+		{From: "CustName", To: "CustKey"},
+		{From: "Clerk", To: "Office"}, // irrelevant chain
+	}
+	pa := d.PartitionAttrs()
+	for _, want := range []string{"NationKey", "CustKey", "CustName"} {
+		if _, ok := pa[want]; !ok {
+			t.Errorf("PartitionAttrs missing %q: %v", want, pa)
+		}
+	}
+	if _, ok := pa["Clerk"]; ok {
+		t.Error("Clerk must not be a partition attribute")
+	}
+	if !d.IsPartitionAttr("CustName") || d.IsPartitionAttr("Clerk") {
+		t.Error("IsPartitionAttr")
+	}
+}
+
+func TestAttrLookup(t *testing.T) {
+	d := rangePartition("T", "nk", 2, 5)
+	if _, ok := d.Attr("nk"); !ok {
+		t.Error("Attr(nk) not found")
+	}
+	if _, ok := d.Attr("zz"); ok {
+		t.Error("Attr(zz) found")
+	}
+	a, _ := d.Attr("nk")
+	if a.Filter(0) == nil || a.Filter(-1) != nil || a.Filter(5) != nil {
+		t.Error("Filter bounds handling")
+	}
+}
+
+func TestCheckData(t *testing.T) {
+	d := rangePartition("T", "nk", 2, 10)
+	rel := relation.New(relation.MustSchema(relation.Column{Name: "nk", Kind: relation.KindInt}))
+	rel.MustAppend(relation.Tuple{relation.NewInt(3)})
+	if err := d.CheckData(0, rel); err != nil {
+		t.Errorf("valid data rejected: %v", err)
+	}
+	if err := d.CheckData(1, rel); err == nil {
+		t.Error("site 1 must reject nk=3 (its range is [10,19])")
+	}
+	other := relation.New(relation.MustSchema(relation.Column{Name: "x", Kind: relation.KindInt}))
+	if err := d.CheckData(0, other); err == nil {
+		t.Error("missing attribute must error")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	d := rangePartition("T", "nk", 2, 10)
+	c := NewCatalog(d)
+	if c.Distribution("T") != d {
+		t.Error("Distribution lookup")
+	}
+	if c.Distribution("missing") != nil {
+		t.Error("missing relation must return nil")
+	}
+	var nilCat *Catalog
+	if nilCat.Distribution("T") != nil {
+		t.Error("nil catalog must return nil")
+	}
+}
+
+func TestFiltersOverlapUnknownKind(t *testing.T) {
+	// Unknown filter kinds are conservatively treated as overlapping.
+	type weird struct{ SiteFilter }
+	if !filtersOverlap(weird{}, weird{}) {
+		t.Error("unknown kinds must report overlap")
+	}
+}
+
+func TestValueSetStringSorted(t *testing.T) {
+	s := NewValueSet(relation.NewString("b"), relation.NewString("a"))
+	if got := s.String(); !strings.HasPrefix(got, "{a") {
+		t.Errorf("String not sorted: %q", got)
+	}
+}
+
+func TestHashFilter(t *testing.T) {
+	filters := HashPartition(4)
+	if len(filters) != 4 {
+		t.Fatalf("filters = %d", len(filters))
+	}
+	// Every value lands at exactly one site.
+	for i := int64(0); i < 200; i++ {
+		v := relation.NewInt(i)
+		owners := 0
+		for _, f := range filters {
+			if f.Contains(v) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("value %d owned by %d sites", i, owners)
+		}
+	}
+	// Kind-aware: INT 1 and STRING "1" may land at different sites but both
+	// deterministically.
+	for _, f := range filters {
+		if f.Contains(relation.NewInt(1)) != f.Contains(relation.NewInt(1)) {
+			t.Error("hash must be deterministic")
+		}
+	}
+	// Disjointness proof feeds Validate.
+	d := &Distribution{
+		Relation: "T", NumSites: 4,
+		Attrs: []AttrInfo{{Attr: "k", Filters: filters, Disjoint: true}},
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("hash partition must validate as disjoint: %v", err)
+	}
+	hf := HashFilter{Mod: 4, Rem: 1}
+	if hf.DisjointWith(HashFilter{Mod: 5, Rem: 2}) {
+		t.Error("different moduli cannot be proven disjoint")
+	}
+	if _, _, ok := hf.Bounds(); ok {
+		t.Error("hash filters have no bounds")
+	}
+	if (HashFilter{}).Contains(relation.NewInt(1)) {
+		t.Error("zero modulus matches nothing")
+	}
+	if hf.String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,314 @@
+package egil
+
+import (
+	"strings"
+	"testing"
+
+	"skalla/internal/agg"
+	"skalla/internal/gmdj"
+	"skalla/internal/relation"
+)
+
+func flowData() gmdj.Data {
+	r := relation.New(relation.MustSchema(
+		relation.Column{Name: "SourceAS", Kind: relation.KindInt},
+		relation.Column{Name: "DestAS", Kind: relation.KindInt},
+		relation.Column{Name: "NumBytes", Kind: relation.KindInt},
+	))
+	rows := [][3]int64{
+		{1, 1, 10}, {1, 1, 20}, {1, 1, 30},
+		{1, 2, 5},
+		{2, 1, 7}, {2, 1, 9},
+	}
+	for _, x := range rows {
+		r.MustAppend(relation.Tuple{relation.NewInt(x[0]), relation.NewInt(x[1]), relation.NewInt(x[2])})
+	}
+	return gmdj.Data{"Flow": r}
+}
+
+func TestTranslateGroupBy(t *testing.T) {
+	q, err := Translate(`
+		SELECT SourceAS, DestAS, COUNT(*) AS cnt, SUM(NumBytes) AS total
+		FROM Flow
+		GROUP BY SourceAS, DestAS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Ops) != 1 || len(q.Base.Cols) != 2 {
+		t.Fatalf("shape: %s", q)
+	}
+	res, err := gmdj.EvalCentral(q, flowData(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("groups = %d\n%s", res.Len(), res)
+	}
+	ti := res.Schema.MustIndex("total")
+	si := res.Schema.MustIndex("SourceAS")
+	di := res.Schema.MustIndex("DestAS")
+	for _, row := range res.Tuples {
+		if row[si].Int == 1 && row[di].Int == 1 && row[ti].Int != 60 {
+			t.Errorf("total(1,1) = %v", row[ti])
+		}
+	}
+}
+
+func TestTranslateWhere(t *testing.T) {
+	q, err := Translate(`
+		SELECT SourceAS, COUNT(*) AS cnt
+		FROM Flow WHERE NumBytes > 6
+		GROUP BY SourceAS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gmdj.EvalCentral(q, flowData(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base values: SourceAS with NumBytes>6 → 1 and 2; counts: per θ the
+	// detail relation is unfiltered... no: the operator condition only links
+	// the group, so all rows of the AS count. WHERE shapes the base values.
+	if res.Len() != 2 {
+		t.Fatalf("groups = %d\n%s", res.Len(), res)
+	}
+}
+
+// HAVING EACH reproduces the paper's Example 1: the second operator counts
+// detail rows above the group average.
+func TestTranslateHavingEach(t *testing.T) {
+	q, err := Translate(`
+		SELECT SourceAS, DestAS, COUNT(*) AS cnt1, SUM(NumBytes) AS sum1
+		FROM Flow
+		GROUP BY SourceAS, DestAS
+		HAVING EACH NumBytes >= sum1 / cnt1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Ops) != 2 {
+		t.Fatalf("ops = %d", len(q.Ops))
+	}
+	res, err := gmdj.EvalCentral(q, flowData(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := res.Schema.MustIndex("matching")
+	si, di := res.Schema.MustIndex("SourceAS"), res.Schema.MustIndex("DestAS")
+	want := map[[2]int64]int64{{1, 1}: 2, {1, 2}: 1, {2, 1}: 1}
+	for _, row := range res.Tuples {
+		key := [2]int64{row[si].Int, row[di].Int}
+		if row[mi].Int != want[key] {
+			t.Errorf("matching%v = %v, want %d", key, row[mi], want[key])
+		}
+	}
+}
+
+func TestTranslateCubeAndRollup(t *testing.T) {
+	q, err := Translate(`SELECT SourceAS, DestAS, COUNT(*) AS n FROM Flow CUBE BY SourceAS, DestAS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Base.GroupingSets) != 4 {
+		t.Errorf("cube sets = %d", len(q.Base.GroupingSets))
+	}
+	res, err := gmdj.EvalCentral(q, flowData(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 leaves + 2 SourceAS rollups + 2 DestAS rollups + total = 8.
+	if res.Len() != 8 {
+		t.Fatalf("cube cells = %d\n%s", res.Len(), res)
+	}
+
+	q, err = Translate(`SELECT SourceAS, COUNT(*) AS n FROM Flow ROLLUP BY SourceAS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = gmdj.EvalCentral(q, flowData(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 { // AS 1, AS 2, grand total
+		t.Fatalf("rollup cells = %d\n%s", res.Len(), res)
+	}
+}
+
+func TestAutoAliases(t *testing.T) {
+	st, err := ParseStatement(`SELECT SourceAS, COUNT(*), SUM(NumBytes), AVG(NumBytes) FROM Flow GROUP BY SourceAS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{st.Aggs[0].As, st.Aggs[1].As, st.Aggs[2].As}
+	want := []string{"count_1", "sum_NumBytes", "avg_NumBytes"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("auto alias %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+	if st.Aggs[0].Func != agg.Count {
+		t.Error("func mismatch")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROM Flow GROUP BY a",               // missing select
+		"SELECT a, COUNT(*) AS c GROUP BY a", // missing from
+		"SELECT a, COUNT(*) AS c FROM Flow",  // missing group
+		"SELECT a, COUNT(*) AS c FROM Flow Extra GROUP BY a",            // two relations
+		"SELECT a, b, COUNT(*) AS c FROM Flow GROUP BY a",               // b not grouped
+		"SELECT a, COUNT(*) AS c FROM Flow GROUP BY a, b",               // b not selected
+		"SELECT COUNT(*) AS c FROM Flow GROUP BY",                       // empty group list
+		"SELECT a, FROB(x) AS f FROM Flow GROUP BY a",                   // unknown func
+		"SELECT a, SUM(*) AS s FROM Flow GROUP BY a",                    // * for sum
+		"SELECT a, COUNT(*) oops c FROM Flow GROUP BY a",                // bad alias clause
+		"SELECT a alias, COUNT(*) AS c FROM Flow GROUP BY a",            // alias on plain column
+		"SELECT a, COUNT(*) AS c FROM Flow GROUP BY a GROUP BY a",       // duplicate clause
+		"SELECT a FROM Flow GROUP BY a",                                 // no aggregates
+		"SELECT a, SUM(f(x)) AS s FROM Flow GROUP BY a",                 // nested call
+		"SELECT a, COUNT(*) AS c FROM Flow WHERE (( GROUP BY a",         // bad where
+		"SELECT a, COUNT(*) AS c FROM Flow CUBE BY a HAVING EACH x > c", // having on cube
+		"SELECT a, COUNT(*) AS c FROM Flow GROUP BY a HAVING EACH ((",   // bad having
+	}
+	for _, src := range bad {
+		if _, err := Translate(src); err == nil {
+			t.Errorf("Translate(%q): expected error", src)
+		}
+	}
+}
+
+func TestWhereMustNotReferenceBase(t *testing.T) {
+	if _, err := Translate(`SELECT a, COUNT(*) AS c FROM Flow WHERE B.a = 1 GROUP BY a`); err == nil {
+		t.Error("base reference in WHERE must error")
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Translate("select SourceAS, count(*) as n from Flow where NumBytes > 1 group by SourceAS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Base.Where == nil || len(q.Ops) != 1 {
+		t.Errorf("lowercase statement mis-parsed: %s", q)
+	}
+}
+
+func TestKeywordInsideIdentifier(t *testing.T) {
+	// "fromage" must not be split at "from".
+	st, err := splitClauses("SELECT a, COUNT(*) AS fromage FROM Flow GROUP BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st["select"], "fromage") {
+		t.Errorf("clauses = %v", st)
+	}
+}
+
+func TestStatementValidatesAgainstSchema(t *testing.T) {
+	q, err := Translate(`SELECT SourceAS, COUNT(*) AS c FROM Flow GROUP BY SourceAS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(flowData()); err != nil {
+		t.Errorf("translated query invalid: %v", err)
+	}
+	// Unknown columns surface at validation, not translation.
+	q2, err := Translate(`SELECT Nope, COUNT(*) AS c FROM Flow GROUP BY Nope`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Validate(flowData()); err == nil {
+		t.Error("unknown column must fail validation")
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	st, err := ParseStatement(`
+		SELECT SourceAS, COUNT(*) AS n FROM Flow
+		GROUP BY SourceAS ORDER BY n DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OrderBy != "n" || !st.OrderDesc || st.Limit != 2 {
+		t.Fatalf("clauses: %+v", st)
+	}
+	q, err := st.ToQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gmdj.EvalCentral(q, flowData(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Postprocess(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("limit: %d rows", res.Len())
+	}
+	ni := res.Schema.MustIndex("n")
+	if res.Tuples[0][ni].Int < res.Tuples[1][ni].Int {
+		t.Errorf("not descending: %v", res.Tuples)
+	}
+	// AS 1 has 4 flows, AS 2 has 2: top row must be AS 1 with n=4.
+	if res.Tuples[0][ni].Int != 4 {
+		t.Errorf("top n = %v, want 4", res.Tuples[0][ni])
+	}
+	// Ascending default.
+	st2, _ := ParseStatement(`SELECT SourceAS, COUNT(*) AS n FROM Flow GROUP BY SourceAS ORDER BY n`)
+	res2, _ := gmdj.EvalCentral(q, flowData(), true)
+	if err := st2.Postprocess(res2); err != nil {
+		t.Fatal(err)
+	}
+	if res2.Tuples[0][ni].Int != 2 {
+		t.Errorf("ascending top = %v", res2.Tuples[0][ni])
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	bad := []string{
+		"SELECT a, COUNT(*) AS c FROM Flow GROUP BY a ORDER BY",       // empty
+		"SELECT a, COUNT(*) AS c FROM Flow GROUP BY a ORDER BY a b c", // junk
+		"SELECT a, COUNT(*) AS c FROM Flow GROUP BY a LIMIT x",        // non-numeric
+		"SELECT a, COUNT(*) AS c FROM Flow GROUP BY a LIMIT 0",        // non-positive
+		"SELECT a, COUNT(*) AS c FROM Flow GROUP BY a LIMIT -3",       // negative
+	}
+	for _, src := range bad {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q): expected error", src)
+		}
+	}
+	// Postprocess with unknown order column errors.
+	st, err := ParseStatement("SELECT SourceAS, COUNT(*) AS n FROM Flow GROUP BY SourceAS ORDER BY zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := st.ToQuery()
+	res, _ := gmdj.EvalCentral(q, flowData(), true)
+	if err := st.Postprocess(res); err == nil {
+		t.Error("unknown ORDER BY column must error at postprocess")
+	}
+}
+
+func TestVarianceThroughSQL(t *testing.T) {
+	q, err := Translate(`SELECT SourceAS, STDEV(NumBytes) AS spread, VARIANCE(NumBytes) AS vr FROM Flow GROUP BY SourceAS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gmdj.EvalCentral(q, flowData(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := res.Schema.MustIndex("SourceAS")
+	sp := res.Schema.MustIndex("spread")
+	vr := res.Schema.MustIndex("vr")
+	for _, row := range res.Tuples {
+		if row[si].Int == 2 {
+			// NB 7, 9: mean 8, variance 1, stddev 1.
+			if row[vr].Float != 1 || row[sp].Float != 1 {
+				t.Errorf("AS 2 variance/stddev = %v/%v, want 1/1", row[vr], row[sp])
+			}
+		}
+	}
+}

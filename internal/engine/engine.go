@@ -1,0 +1,266 @@
+// Package engine implements a Skalla local warehouse site: the per-site
+// relational engine that stores one horizontal partition of each detail
+// relation and evaluates the site-side pieces of Alg. GMDJDistribEval — base
+// query fragments B_i, sub-aggregate relations H_i for one MD operator
+// (optionally guard-filtered per Proposition 1), and fully local prefix
+// evaluation for the synchronization-reduced plans of Proposition 2 and
+// Corollary 1.
+//
+// The paper uses the Daytona DBMS in this role; any engine capable of
+// evaluating GMDJ expressions locally is interchangeable (see DESIGN.md).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"skalla/internal/gmdj"
+	"skalla/internal/relation"
+)
+
+// Site is one local data warehouse. Partitions are served through the
+// gmdj.RowSource interface, so a site can hold them in memory (Load) or on
+// disk (LoadSource with a store.Table) interchangeably.
+type Site struct {
+	id int
+
+	mu      sync.RWMutex
+	tables  map[string]gmdj.RowSource
+	useHash bool
+}
+
+// NewSite creates an empty site.
+func NewSite(id int) *Site {
+	return &Site{id: id, tables: make(map[string]gmdj.RowSource), useHash: true}
+}
+
+// ID returns the site identifier.
+func (s *Site) ID() int { return s.id }
+
+// SetUseHash toggles the hash-grouping fast path for local GMDJ evaluation
+// (on by default); the nested-loop fallback is kept for cross-checking.
+func (s *Site) SetUseHash(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.useHash = v
+}
+
+// Load installs (or replaces) the local partition of a detail relation as an
+// in-memory source.
+func (s *Site) Load(name string, rel *relation.Relation) error {
+	if rel == nil {
+		return fmt.Errorf("engine: nil relation %q", name)
+	}
+	return s.LoadSource(name, gmdj.SourceOf(rel))
+}
+
+// LoadSource installs (or replaces) the local partition of a detail relation
+// behind any scannable source — e.g. a disk-backed store.Table, which keeps
+// the site's memory bounded regardless of partition size.
+func (s *Site) LoadSource(name string, src gmdj.RowSource) error {
+	if name == "" {
+		return fmt.Errorf("engine: empty relation name")
+	}
+	if src == nil {
+		return fmt.Errorf("engine: nil source %q", name)
+	}
+	if err := src.Schema().Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[name] = src
+	return nil
+}
+
+// TableNames lists the loaded relations, sorted.
+func (s *Site) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableInfo describes one loaded relation for inventory listings.
+type TableInfo struct {
+	Name    string
+	Rows    int
+	Columns int
+}
+
+// Tables returns the site's relation inventory, sorted by name.
+func (s *Site) Tables() []TableInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]TableInfo, 0, len(s.tables))
+	for n, src := range s.tables {
+		out = append(out, TableInfo{Name: n, Rows: src.Len(), Columns: len(src.Schema())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DetailSource implements gmdj.DataSource over the local partitions.
+func (s *Site) DetailSource(name string) (gmdj.RowSource, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	src, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: site %d has no relation %q", s.id, name)
+	}
+	return src, nil
+}
+
+// DetailSchema implements gmdj.SchemaSource.
+func (s *Site) DetailSchema(name string) (relation.Schema, error) {
+	src, err := s.DetailSource(name)
+	if err != nil {
+		return nil, err
+	}
+	return src.Schema(), nil
+}
+
+// EvalBase computes the site's fragment B_i of the base-values relation.
+func (s *Site) EvalBase(bq gmdj.BaseQuery) (*relation.Relation, error) {
+	detail, err := s.DetailSource(bq.Detail)
+	if err != nil {
+		return nil, err
+	}
+	return gmdj.EvalBase(bq, detail)
+}
+
+// OperatorRequest asks a site to evaluate one MD operator over its local
+// partition against the shipped base-result fragment.
+type OperatorRequest struct {
+	// Base is the fragment of the base-result structure X shipped to the
+	// site: the key attributes plus any previously computed aggregate
+	// columns the operator's conditions reference.
+	Base *relation.Relation
+	// Op is the operator (one or more grouping variables).
+	Op gmdj.Operator
+	// Keys names the base key attributes K within Base's schema; the
+	// returned H_i carries them so the coordinator can synchronize in
+	// O(|H|) against its key index.
+	Keys []string
+	// Guard enables distribution-independent group reduction (Prop. 1):
+	// only base rows with |RNG(b, R_i, θ_1 ∨ … ∨ θ_m)| > 0 are returned.
+	Guard bool
+	// BlockRows enables row blocking (Sect. 3.2 / classical distributed
+	// optimization): H_i is returned in blocks of at most this many rows, so
+	// the coordinator can synchronize early blocks while later ones are
+	// still in flight. Zero or negative returns H_i as a single block.
+	BlockRows int
+}
+
+// EvalOperator computes the site's sub-aggregate relation H_i for one MD
+// operator: one row per (retained) base tuple, carrying the key attributes
+// followed by the physical sub-aggregate columns of every grouping variable.
+func (s *Site) EvalOperator(req OperatorRequest) (*relation.Relation, error) {
+	var h *relation.Relation
+	err := s.EvalOperatorBlocks(req, func(block *relation.Relation) error {
+		if h == nil {
+			h = block
+			return nil
+		}
+		return h.Union(block)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// EvalOperatorBlocks is EvalOperator with row blocking: it emits H_i in
+// blocks of at most req.BlockRows rows (a single block when BlockRows ≤ 0).
+// Emit errors abort the evaluation. At least one (possibly empty) block is
+// always emitted.
+func (s *Site) EvalOperatorBlocks(req OperatorRequest, emit func(*relation.Relation) error) error {
+	if req.Base == nil {
+		return fmt.Errorf("engine: operator request without base relation")
+	}
+	detail, err := s.DetailSource(req.Op.Detail)
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	useHash := s.useHash
+	s.mu.RUnlock()
+
+	acc, err := gmdj.AccumulateOperator(req.Base, req.Op, detail, useHash)
+	if err != nil {
+		return err
+	}
+	keyIdx, err := req.Base.Schema.Indexes(req.Keys)
+	if err != nil {
+		return err
+	}
+	physSchema, err := acc.PhysSchema()
+	if err != nil {
+		return err
+	}
+	hSchema, err := req.Base.Schema.Project(keyIdx).Concat(physSchema)
+	if err != nil {
+		return err
+	}
+	block := relation.New(hSchema)
+	emitted := false
+	flush := func() error {
+		if err := emit(block); err != nil {
+			return err
+		}
+		emitted = true
+		block = relation.New(hSchema)
+		return nil
+	}
+	for i, br := range req.Base.Tuples {
+		if req.Guard && !acc.Touched[i] {
+			continue
+		}
+		row := make(relation.Tuple, 0, len(hSchema))
+		for _, k := range keyIdx {
+			row = append(row, br[k])
+		}
+		row = append(row, acc.PhysRow(i)...)
+		block.Tuples = append(block.Tuples, row)
+		if req.BlockRows > 0 && block.Len() >= req.BlockRows {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if block.Len() > 0 || !emitted {
+		return emit(block)
+	}
+	return nil
+}
+
+// LocalRequest asks a site to evaluate the base query and the first UpTo
+// operators of a query entirely over its local partition, returning the
+// intermediate base-result structure X_UpTo (base columns + physical +
+// derived aggregate columns). This is the site-side of the synchronization
+// reductions: UpTo = 1 folds the base sync into the first operator's round
+// (Prop. 2); UpTo = len(Ops) evaluates the whole chain with one final
+// synchronization (Cor. 1).
+type LocalRequest struct {
+	Query gmdj.Query
+	UpTo  int
+}
+
+// EvalLocal evaluates a query prefix over the local partition. No guard
+// filtering is applied: under synchronization reduction the returned rows
+// are the sole carriers of group membership, so dropping untouched groups
+// would lose them.
+func (s *Site) EvalLocal(req LocalRequest) (*relation.Relation, error) {
+	s.mu.RLock()
+	useHash := s.useHash
+	s.mu.RUnlock()
+	if err := req.Query.Validate(s); err != nil {
+		return nil, err
+	}
+	return gmdj.EvalPrefixX(req.Query, s, req.UpTo, useHash)
+}

@@ -1,0 +1,176 @@
+package expr
+
+import "skalla/internal/relation"
+
+// Affine is the view of an expression as c*Col + d over a single detail-side
+// numeric column. It supports the generalized group-reduction analysis of
+// Thm. 4: the paper's example rewrites
+//
+//	B.DestAS + B.SourceAS < Flow.SourceAS*2   with  SourceAS ∈ [1,25] at site i
+//
+// into the base-only predicate B.DestAS + B.SourceAS < 50. Given a range
+// [lo,hi] for Col, the range of the affine form is [min,max] and a comparison
+// against a base-only expression can be relaxed to the achievable bound.
+type Affine struct {
+	Col string  // detail column name
+	C   float64 // coefficient
+	D   float64 // constant offset
+}
+
+// Range maps a column value range through the affine form.
+func (a Affine) Range(lo, hi float64) (float64, float64) {
+	x, y := a.C*lo+a.D, a.C*hi+a.D
+	if x > y {
+		x, y = y, x
+	}
+	return x, y
+}
+
+// DetailAffine tries to view e as an affine function of exactly one
+// detail-side column, with no base-side references. It returns (affine, true)
+// on success. A bare constant does not qualify (no column).
+func DetailAffine(e Expr) (Affine, bool) {
+	col, c, d, ok := affineWalk(e)
+	if !ok || col == "" || c == 0 {
+		return Affine{}, false
+	}
+	return Affine{Col: col, C: c, D: d}, true
+}
+
+// affineWalk returns (colName, coefficient, offset, ok). colName "" means the
+// subtree is constant.
+func affineWalk(e Expr) (string, float64, float64, bool) {
+	switch n := e.(type) {
+	case *Lit:
+		f, ok := n.Val.AsFloat()
+		if !ok {
+			return "", 0, 0, false
+		}
+		return "", 0, f, true
+	case *Col:
+		if n.Side != SideDetail {
+			return "", 0, 0, false
+		}
+		return n.Name, 1, 0, true
+	case *Un:
+		if n.Op != OpNeg {
+			return "", 0, 0, false
+		}
+		col, c, d, ok := affineWalk(n.X)
+		return col, -c, -d, ok
+	case *Bin:
+		lc, lco, ld, lok := affineWalk(n.L)
+		rc, rco, rd, rok := affineWalk(n.R)
+		if !lok || !rok {
+			return "", 0, 0, false
+		}
+		switch n.Op {
+		case OpAdd, OpSub:
+			col, ok := mergeCols(lc, rc)
+			if !ok {
+				return "", 0, 0, false
+			}
+			if n.Op == OpAdd {
+				return col, lco + rco, ld + rd, true
+			}
+			return col, lco - rco, ld - rd, true
+		case OpMul:
+			// Exactly one side may contain the column.
+			switch {
+			case lc == "" && rc == "":
+				return "", 0, ld * rd, true
+			case lc == "":
+				return rc, ld * rco, ld * rd, true
+			case rc == "":
+				return lc, rd * lco, rd * ld, true
+			default:
+				return "", 0, 0, false
+			}
+		case OpDiv:
+			// Only division by a nonzero constant keeps affinity.
+			if rc != "" || rd == 0 {
+				return "", 0, 0, false
+			}
+			return lc, lco / rd, ld / rd, true
+		default:
+			return "", 0, 0, false
+		}
+	default:
+		return "", 0, 0, false
+	}
+}
+
+func mergeCols(a, b string) (string, bool) {
+	switch {
+	case a == "":
+		return b, true
+	case b == "" || a == b:
+		return a, true
+	default:
+		return "", false // two distinct columns: not single-column affine
+	}
+}
+
+// RelaxComparison builds the base-only predicate ¬ψ_i for one conjunct of the
+// form  baseExpr op affine(detailCol), given that detailCol takes values in
+// [lo,hi] at site i (Thm. 4). It returns the relaxed predicate over the base
+// tuple, or (nil, false) if op cannot be relaxed.
+//
+// The relaxation keeps exactly the base tuples for which some detail value in
+// [lo,hi] could satisfy the comparison:
+//
+//	b < E(x)  possible iff b <  max E   (similarly <=)
+//	b > E(x)  possible iff b >  min E   (similarly >=)
+//	b = E(x)  possible iff min E <= b <= max E
+func RelaxComparison(op Op, baseExpr Expr, a Affine, lo, hi float64) (Expr, bool) {
+	mn, mx := a.Range(lo, hi)
+	switch op {
+	case OpLt:
+		return B2(OpLt, baseExpr, Float(mx)), true
+	case OpLe:
+		return B2(OpLe, baseExpr, Float(mx)), true
+	case OpGt:
+		return B2(OpGt, baseExpr, Float(mn)), true
+	case OpGe:
+		return B2(OpGe, baseExpr, Float(mn)), true
+	case OpEq:
+		return And(B2(OpGe, baseExpr, Float(mn)), B2(OpLe, baseExpr, Float(mx))), true
+	default:
+		return nil, false
+	}
+}
+
+// FlipComparison mirrors a comparison operator (for rewriting "affine op
+// base" as "base flipped-op affine").
+func FlipComparison(op Op) (Op, bool) {
+	switch op {
+	case OpLt:
+		return OpGt, true
+	case OpLe:
+		return OpGe, true
+	case OpGt:
+		return OpLt, true
+	case OpGe:
+		return OpLe, true
+	case OpEq:
+		return OpEq, true
+	case OpNe:
+		return OpNe, true
+	default:
+		return OpInvalid, false
+	}
+}
+
+// ConstOf returns the constant value of an expression with no column
+// references, if it is indeed constant.
+func ConstOf(e Expr) (relation.Value, bool) {
+	b, d := Attrs(e)
+	if len(b) != 0 || len(d) != 0 {
+		return relation.Null, false
+	}
+	v, err := e.Eval(nil, nil)
+	if err != nil {
+		return relation.Null, false
+	}
+	return v, true
+}

@@ -1,0 +1,60 @@
+package expr
+
+import (
+	"fmt"
+
+	"skalla/internal/relation"
+)
+
+// Bind resolves every column reference in e against the base and detail
+// schemas, returning a new tree with indices set. Either schema may be nil
+// when the corresponding side must not be referenced. Binding is the only
+// step that can fail on unknown names; evaluation assumes a bound tree.
+func Bind(e Expr, base, detail relation.Schema) (Expr, error) {
+	switch n := e.(type) {
+	case *Col:
+		var s relation.Schema
+		if n.Side == SideBase {
+			s = base
+		} else {
+			s = detail
+		}
+		if s == nil {
+			return nil, fmt.Errorf("expr: reference %s but that side is not available here", n)
+		}
+		idx := s.Index(n.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("expr: no column %q on side %s (schema %s)", n.Name, n.Side, s)
+		}
+		return &Col{Side: n.Side, Name: n.Name, Idx: idx}, nil
+	case *Lit:
+		return n, nil
+	case *Bin:
+		l, err := Bind(n.L, base, detail)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Bind(n.R, base, detail)
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: n.Op, L: l, R: r}, nil
+	case *Un:
+		x, err := Bind(n.X, base, detail)
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: n.Op, X: x}, nil
+	default:
+		return nil, fmt.Errorf("expr: unknown node type %T", e)
+	}
+}
+
+// MustBind is Bind but panics on error; for tests and static expressions.
+func MustBind(e Expr, base, detail relation.Schema) Expr {
+	out, err := Bind(e, base, detail)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"skalla/internal/relation"
+)
+
+// Eval implements Expr for column references.
+func (c *Col) Eval(base, detail relation.Tuple) (relation.Value, error) {
+	var t relation.Tuple
+	if c.Side == SideBase {
+		t = base
+	} else {
+		t = detail
+	}
+	if c.Idx < 0 {
+		return relation.Null, fmt.Errorf("expr: unbound column %s", c)
+	}
+	if c.Idx >= len(t) {
+		return relation.Null, fmt.Errorf("expr: column %s index %d out of range (tuple arity %d)", c, c.Idx, len(t))
+	}
+	return t[c.Idx], nil
+}
+
+// Eval implements Expr for literals.
+func (l *Lit) Eval(_, _ relation.Tuple) (relation.Value, error) { return l.Val, nil }
+
+// Eval implements Expr for binary operations.
+//
+// NULL semantics follow SQL collapsed to two-valued logic: arithmetic on NULL
+// yields NULL; comparisons involving NULL (or incomparable kinds) yield
+// false; AND/OR treat NULL as false.
+func (b *Bin) Eval(base, detail relation.Tuple) (relation.Value, error) {
+	// Short-circuit logical operators.
+	switch b.Op {
+	case OpAnd, OpOr:
+		lv, err := b.L.Eval(base, detail)
+		if err != nil {
+			return relation.Null, err
+		}
+		lb, err := truthy(lv, b.L)
+		if err != nil {
+			return relation.Null, err
+		}
+		if b.Op == OpAnd && !lb {
+			return relation.NewBool(false), nil
+		}
+		if b.Op == OpOr && lb {
+			return relation.NewBool(true), nil
+		}
+		rv, err := b.R.Eval(base, detail)
+		if err != nil {
+			return relation.Null, err
+		}
+		rb, err := truthy(rv, b.R)
+		if err != nil {
+			return relation.Null, err
+		}
+		return relation.NewBool(rb), nil
+	}
+
+	lv, err := b.L.Eval(base, detail)
+	if err != nil {
+		return relation.Null, err
+	}
+	rv, err := b.R.Eval(base, detail)
+	if err != nil {
+		return relation.Null, err
+	}
+
+	switch {
+	case b.Op.IsComparison():
+		return evalComparison(b.Op, lv, rv), nil
+	case b.Op == OpAdd || b.Op == OpSub || b.Op == OpMul || b.Op == OpDiv || b.Op == OpMod:
+		return evalArith(b.Op, lv, rv)
+	default:
+		return relation.Null, fmt.Errorf("expr: invalid binary operator %s", b.Op)
+	}
+}
+
+// Eval implements Expr for unary operations.
+func (u *Un) Eval(base, detail relation.Tuple) (relation.Value, error) {
+	v, err := u.X.Eval(base, detail)
+	if err != nil {
+		return relation.Null, err
+	}
+	switch u.Op {
+	case OpIsNull:
+		return relation.NewBool(v.IsNull()), nil
+	case OpIsNotNull:
+		return relation.NewBool(!v.IsNull()), nil
+	case OpNot:
+		bb, err := truthy(v, u.X)
+		if err != nil {
+			return relation.Null, err
+		}
+		return relation.NewBool(!bb), nil
+	case OpNeg:
+		switch v.Kind {
+		case relation.KindNull:
+			return relation.Null, nil
+		case relation.KindInt:
+			return relation.NewInt(-v.Int), nil
+		case relation.KindFloat:
+			return relation.NewFloat(-v.Float), nil
+		default:
+			return relation.Null, fmt.Errorf("expr: cannot negate %s value", v.Kind)
+		}
+	default:
+		return relation.Null, fmt.Errorf("expr: invalid unary operator %s", u.Op)
+	}
+}
+
+// truthy coerces a condition result to bool: BOOL is itself, NULL is false.
+func truthy(v relation.Value, src Expr) (bool, error) {
+	switch v.Kind {
+	case relation.KindBool:
+		return v.Bool(), nil
+	case relation.KindNull:
+		return false, nil
+	default:
+		return false, fmt.Errorf("expr: %s evaluates to %s, want BOOL", src, v.Kind)
+	}
+}
+
+// EvalCond evaluates a boolean condition, coercing NULL to false.
+func EvalCond(e Expr, base, detail relation.Tuple) (bool, error) {
+	v, err := e.Eval(base, detail)
+	if err != nil {
+		return false, err
+	}
+	return truthy(v, e)
+}
+
+func evalComparison(op Op, l, r relation.Value) relation.Value {
+	if l.IsNull() || r.IsNull() {
+		return relation.NewBool(false)
+	}
+	if op == OpEq || op == OpNe {
+		eq := l.Equal(r)
+		// Cross-kind non-numeric equality is false, handled by Equal.
+		if op == OpEq {
+			return relation.NewBool(eq)
+		}
+		return relation.NewBool(!eq)
+	}
+	c, ok := l.Compare(r)
+	if !ok {
+		return relation.NewBool(false)
+	}
+	var res bool
+	switch op {
+	case OpLt:
+		res = c < 0
+	case OpLe:
+		res = c <= 0
+	case OpGt:
+		res = c > 0
+	case OpGe:
+		res = c >= 0
+	}
+	return relation.NewBool(res)
+}
+
+func evalArith(op Op, l, r relation.Value) (relation.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return relation.Null, nil
+	}
+	if !l.IsNumeric() || !r.IsNumeric() {
+		return relation.Null, fmt.Errorf("expr: arithmetic %s on %s and %s", op, l.Kind, r.Kind)
+	}
+	// Integer arithmetic stays integral except division, which follows SQL
+	// integer division only when exact is not required; we use float division
+	// to match the paper's avg-style predicates (sum1/cnt1).
+	if l.Kind == relation.KindInt && r.Kind == relation.KindInt && op != OpDiv {
+		switch op {
+		case OpAdd:
+			return relation.NewInt(l.Int + r.Int), nil
+		case OpSub:
+			return relation.NewInt(l.Int - r.Int), nil
+		case OpMul:
+			return relation.NewInt(l.Int * r.Int), nil
+		case OpMod:
+			if r.Int == 0 {
+				return relation.Null, nil
+			}
+			return relation.NewInt(l.Int % r.Int), nil
+		}
+	}
+	lf, _ := l.AsFloat()
+	rf, _ := r.AsFloat()
+	switch op {
+	case OpAdd:
+		return relation.NewFloat(lf + rf), nil
+	case OpSub:
+		return relation.NewFloat(lf - rf), nil
+	case OpMul:
+		return relation.NewFloat(lf * rf), nil
+	case OpDiv:
+		if rf == 0 {
+			return relation.Null, nil
+		}
+		return relation.NewFloat(lf / rf), nil
+	case OpMod:
+		if rf == 0 {
+			return relation.Null, nil
+		}
+		return relation.NewFloat(math.Mod(lf, rf)), nil
+	}
+	return relation.Null, fmt.Errorf("expr: invalid arithmetic operator %s", op)
+}

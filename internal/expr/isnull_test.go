@@ -1,0 +1,96 @@
+package expr
+
+import (
+	"testing"
+
+	"skalla/internal/relation"
+)
+
+func TestIsNullEval(t *testing.T) {
+	base := relation.MustSchema(relation.Column{Name: "a", Kind: relation.KindInt})
+	rowNull := relation.Tuple{relation.Null}
+	rowVal := relation.Tuple{relation.NewInt(5)}
+	cases := []struct {
+		src  string
+		row  relation.Tuple
+		want bool
+	}{
+		{"B.a IS NULL", rowNull, true},
+		{"B.a IS NULL", rowVal, false},
+		{"B.a IS NOT NULL", rowNull, false},
+		{"B.a IS NOT NULL", rowVal, true},
+		{"null IS NULL", rowVal, true},
+		{"1 IS NULL", rowVal, false},
+		{"B.a IS NULL || B.a = 5", rowVal, true},
+		{"B.a IS NULL || B.a = 5", rowNull, true},
+		{"(B.a + 1) IS NULL", rowNull, true}, // NULL propagates through arithmetic
+	}
+	for _, c := range cases {
+		e := MustBind(MustParse(c.src), base, nil)
+		got, err := EvalCond(e, c.row, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("%q on %v = %v, want %v", c.src, c.row, got, c.want)
+		}
+	}
+}
+
+func TestIsNullParseErrors(t *testing.T) {
+	for _, src := range []string{"B.a IS", "B.a IS NOT", "B.a IS 5", "B.a IS NOT 5"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestIsNullStringRoundTrip(t *testing.T) {
+	for _, src := range []string{"B.a IS NULL", "B.a IS NOT NULL", "B.a IS NULL || B.a = 1"} {
+		e := MustParse(src)
+		if _, err := Parse(e.String()); err != nil {
+			t.Errorf("re-parse %q (from %q): %v", e.String(), src, err)
+		}
+	}
+}
+
+func TestIsNullAnalysis(t *testing.T) {
+	e := MustParse("B.d IS NULL || B.d = R.d")
+	b, d := Attrs(e)
+	if _, ok := b["d"]; !ok {
+		t.Error("base attr missing")
+	}
+	if _, ok := d["d"]; !ok {
+		t.Error("detail attr missing")
+	}
+	// No top-level equality links (the equality sits under OR), so the
+	// distribution analyses stay conservative on cube conditions.
+	if links := EqualityLinks(e); len(links) != 0 {
+		t.Errorf("links = %v, want none", links)
+	}
+}
+
+func TestRollupLinks(t *testing.T) {
+	links, ok := RollupLinks(MustParse("(B.a IS NULL || B.a = R.a) && (B.b IS NULL || B.b = R.b)"))
+	if !ok || len(links) != 2 || links[0] != (EqualityLink{Base: "a", Detail: "a"}) {
+		t.Errorf("RollupLinks = %v, %v", links, ok)
+	}
+	// Mirrored operand orders are accepted.
+	links, ok = RollupLinks(MustParse("(R.x = B.a || B.a IS NULL)"))
+	if !ok || links[0] != (EqualityLink{Base: "a", Detail: "x"}) {
+		t.Errorf("mirrored RollupLinks = %v, %v", links, ok)
+	}
+	// Non-rollup shapes are rejected.
+	for _, src := range []string{
+		"B.a = R.a",                             // plain equality
+		"B.a IS NULL || B.b = R.b",              // IS NULL and equality on different cols
+		"B.a IS NULL || B.a = R.a || R.v > 1",   // extra disjunct
+		"(B.a IS NULL || B.a = R.a) && R.v > 1", // residual conjunct breaks the all-rollup shape
+		"R.a IS NULL || B.a = R.a",              // IS NULL on detail side
+		"true",
+	} {
+		if _, ok := RollupLinks(MustParse(src)); ok {
+			t.Errorf("RollupLinks(%q) accepted", src)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"skalla/internal/relation"
+)
+
+// Parse parses the textual condition/expression syntax used by the CLIs and
+// examples. Grammar (precedence low→high):
+//
+//	expr    := or
+//	or      := and  ( ("||" | OR)  and )*
+//	and     := not  ( ("&&" | AND) not )*
+//	not     := ("!" | NOT) not | cmp
+//	cmp     := add  ( ("=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">=") add
+//	                | IS [NOT] NULL )?
+//	add     := mul  ( ("+" | "-") mul )*
+//	mul     := unary ( ("*" | "/" | "%") unary )*
+//	unary   := "-" unary | primary
+//	primary := number | 'string' | TRUE | FALSE | NULL | colref | "(" expr ")"
+//	colref  := ("B" | "R") "." identifier
+//
+// Keywords are case-insensitive; column names are case-sensitive. The result
+// is unbound (bind with Bind before evaluating).
+func Parse(input string) (Expr, error) {
+	return parseWith(input, nil)
+}
+
+// ParseDefaultSide is Parse with bare column references allowed: an
+// identifier without a B./R. prefix becomes a column reference on the given
+// side. Used by the SQL-style front end, where WHERE predicates reference
+// detail columns without qualification.
+func ParseDefaultSide(input string, side Side) (Expr, error) {
+	return parseWith(input, &side)
+}
+
+func parseWith(input string, defaultSide *Side) (Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, defaultSide: defaultSide}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("expr: unexpected %q at offset %d", p.peek().text, p.peek().pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error; for statically known expressions.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokString
+	tokIdent
+	tokOp
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '+' || input[i] == '-') && i > start && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'' || c == '"':
+			quote := c
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == quote {
+					if i+1 < n && input[i+1] == quote { // doubled quote escapes
+						sb.WriteByte(quote)
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("expr: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "&&", "||", "==", "!=", "<>", "<=", ">=":
+				toks = append(toks, token{tokOp, two, start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '=', '<', '>', '!', '(', ')', '.', ',':
+				toks = append(toks, token{tokOp, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("expr: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+type parser struct {
+	toks        []token
+	pos         int
+	defaultSide *Side
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *parser) atEnd() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) acceptOp(ops ...string) (string, bool) {
+	t := p.peek()
+	if t.kind != tokOp {
+		return "", false
+	}
+	for _, o := range ops {
+		if t.text == o {
+			p.next()
+			return o, true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.acceptOp("||"); !ok && !p.acceptKeyword("OR") {
+			return l, nil
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = B2(OpOr, l, r)
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.acceptOp("&&"); !ok && !p.acceptKeyword("AND") {
+			return l, nil
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = B2(OpAnd, l, r)
+	}
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if _, ok := p.acceptOp("!"); ok || p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not(x), nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]Op{
+	"=": OpEq, "==": OpEq, "!=": OpNe, "<>": OpNe,
+	"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("IS") {
+		neg := p.acceptKeyword("NOT")
+		if !p.acceptKeyword("NULL") {
+			return nil, fmt.Errorf("expr: expected NULL after IS at offset %d", p.peek().pos)
+		}
+		if neg {
+			return IsNotNull(l), nil
+		}
+		return IsNull(l), nil
+	}
+	if op, ok := p.acceptOp("=", "==", "!=", "<>", "<=", ">=", "<", ">"); ok {
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return B2(cmpOps[op], l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.acceptOp("+", "-")
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		if op == "+" {
+			l = B2(OpAdd, l, r)
+		} else {
+			l = B2(OpSub, l, r)
+		}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.acceptOp("*", "/", "%")
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "*":
+			l = B2(OpMul, l, r)
+		case "/":
+			l = B2(OpDiv, l, r)
+		default:
+			l = B2(OpMod, l, r)
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if _, ok := p.acceptOp("-"); ok {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: OpNeg, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("expr: bad number %q at offset %d", t.text, t.pos)
+			}
+			return Float(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q at offset %d", t.text, t.pos)
+		}
+		return Int(i), nil
+	case tokString:
+		p.next()
+		return Str(t.text), nil
+	case tokIdent:
+		switch {
+		case strings.EqualFold(t.text, "true"):
+			p.next()
+			return L(relation.NewBool(true)), nil
+		case strings.EqualFold(t.text, "false"):
+			p.next()
+			return L(relation.NewBool(false)), nil
+		case strings.EqualFold(t.text, "null"):
+			p.next()
+			return L(relation.Null), nil
+		}
+		// Column reference: SIDE "." name, or a bare identifier when a
+		// default side is configured.
+		var side Side
+		qualified := false
+		switch t.text {
+		case "B", "b":
+			side, qualified = SideBase, true
+		case "R", "r":
+			side, qualified = SideDetail, true
+		}
+		if qualified {
+			p.next()
+			if _, ok := p.acceptOp("."); ok {
+				nt := p.next()
+				if nt.kind != tokIdent {
+					return nil, fmt.Errorf("expr: expected column name after %q. at offset %d", t.text, nt.pos)
+				}
+				return C(side, nt.text), nil
+			}
+			// "B" / "R" without a dot: fall through to bare-identifier
+			// handling (the token is already consumed).
+			if p.defaultSide != nil {
+				return C(*p.defaultSide, t.text), nil
+			}
+			return nil, fmt.Errorf("expr: expected '.' after %q at offset %d", t.text, t.pos)
+		}
+		if p.defaultSide != nil {
+			p.next()
+			return C(*p.defaultSide, t.text), nil
+		}
+		return nil, fmt.Errorf("expr: unknown identifier %q at offset %d (column references are B.name or R.name)", t.text, t.pos)
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := p.acceptOp(")"); !ok {
+				return nil, fmt.Errorf("expr: expected ')' at offset %d", p.peek().pos)
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("expr: unexpected %q at offset %d", t.text, t.pos)
+}

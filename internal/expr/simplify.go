@@ -1,0 +1,96 @@
+package expr
+
+import "skalla/internal/relation"
+
+// Simplify rewrites an expression into an equivalent, usually smaller one:
+// constant subtrees are folded, logical identities are eliminated
+// (true && x → x, false && x → false, x || true → true, !!x → x), and
+// IS NULL of non-null literals is resolved. The planner applies it to every
+// condition before shipping plans to the sites: smaller trees mean fewer
+// wire bytes and cheaper per-row evaluation.
+//
+// Simplification assumes the condition is well-typed (queries are validated
+// before planning): folding may short-circuit around a subtree that would
+// fail to evaluate at runtime, exactly as the evaluator's own && / ||
+// short-circuiting does.
+func Simplify(e Expr) Expr {
+	switch n := e.(type) {
+	case *Bin:
+		l, r := Simplify(n.L), Simplify(n.R)
+		switch n.Op {
+		case OpAnd:
+			if b, ok := litBool(l); ok {
+				if b {
+					return r
+				}
+				return falseLit()
+			}
+			if b, ok := litBool(r); ok {
+				if b {
+					return l
+				}
+				return falseLit()
+			}
+		case OpOr:
+			if b, ok := litBool(l); ok {
+				if b {
+					return trueLit()
+				}
+				return r
+			}
+			if b, ok := litBool(r); ok {
+				if b {
+					return trueLit()
+				}
+				return l
+			}
+		}
+		out := &Bin{Op: n.Op, L: l, R: r}
+		return foldConst(out)
+	case *Un:
+		x := Simplify(n.X)
+		switch n.Op {
+		case OpNot:
+			if b, ok := litBool(x); ok {
+				return L(relation.NewBool(!b))
+			}
+			// Double negation.
+			if inner, ok := x.(*Un); ok && inner.Op == OpNot {
+				return inner.X
+			}
+		case OpIsNull, OpIsNotNull:
+			if lit, ok := x.(*Lit); ok {
+				isNull := lit.Val.IsNull()
+				if n.Op == OpIsNotNull {
+					isNull = !isNull
+				}
+				return L(relation.NewBool(isNull))
+			}
+		}
+		out := &Un{Op: n.Op, X: x}
+		return foldConst(out)
+	default:
+		return e
+	}
+}
+
+// foldConst replaces a column-free subtree with its value when it evaluates
+// cleanly; trees that would error are left intact so the error still
+// surfaces at evaluation time.
+func foldConst(e Expr) Expr {
+	if v, ok := ConstOf(e); ok {
+		return L(v)
+	}
+	return e
+}
+
+func litBool(e Expr) (bool, bool) {
+	lit, ok := e.(*Lit)
+	if !ok || lit.Val.Kind != relation.KindBool {
+		return false, false
+	}
+	return lit.Val.Bool(), true
+}
+
+func trueLit() Expr  { return L(relation.NewBool(true)) }
+func falseLit() Expr { return L(relation.NewBool(false)) }

@@ -1,0 +1,131 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"skalla/internal/relation"
+)
+
+func TestSimplifyRewrites(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"true && B.a = 1", "(B.a = 1)"},
+		{"B.a = 1 && true", "(B.a = 1)"},
+		{"false && B.a = 1", "false"},
+		{"B.a = 1 && false", "false"},
+		{"true || B.a = 1", "true"},
+		{"B.a = 1 || true", "true"},
+		{"false || B.a = 1", "(B.a = 1)"},
+		{"B.a = 1 || false", "(B.a = 1)"},
+		{"!true", "false"},
+		{"!!(B.a = 1)", "(B.a = 1)"},
+		{"1 + 2 * 3", "7"},
+		{"1 + 2 < 4", "true"},
+		{"null IS NULL", "true"},
+		{"5 IS NOT NULL", "true"},
+		{"B.a + 0 = 1", "((B.a + 0) = 1)"}, // arithmetic identities are not rewritten
+		{"B.a = R.b", "(B.a = R.b)"},
+		{"(true && true) && (false || B.a > 2)", "(B.a > 2)"},
+		{"'a' + 1 = 2", "(('a' + 1) = 2)"}, // would error at runtime: left intact
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in))
+		want := MustParse(c.want)
+		if normalize(got) != normalize(want) {
+			t.Errorf("Simplify(%q) = %s, want %s", c.in, got, want)
+		}
+	}
+}
+
+// normalize strips the outer parentheses ambiguity by re-rendering.
+func normalize(e Expr) string { return e.String() }
+
+// randomExpr builds a random boolean expression over the test schemas, deep
+// enough to exercise every rewrite.
+func randomExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return "true"
+		case 1:
+			return "false"
+		case 2:
+			return fmt.Sprintf("B.bi %s %d", []string{"=", "<", ">"}[rng.Intn(3)], rng.Intn(20))
+		case 3:
+			return fmt.Sprintf("R.di %s %d", []string{"=", "<=", ">="}[rng.Intn(3)], rng.Intn(20))
+		case 4:
+			return fmt.Sprintf("%d %s %d", rng.Intn(9), []string{"=", "<", ">"}[rng.Intn(3)], rng.Intn(9))
+		default:
+			return "B.bf IS NULL"
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return "(" + randomExpr(rng, depth-1) + " && " + randomExpr(rng, depth-1) + ")"
+	case 1:
+		return "(" + randomExpr(rng, depth-1) + " || " + randomExpr(rng, depth-1) + ")"
+	case 2:
+		return "!(" + randomExpr(rng, depth-1) + ")"
+	default:
+		return randomExpr(rng, depth-1)
+	}
+}
+
+// Simplification must preserve condition results on random expressions and
+// random rows (testing/quick drives the seeds).
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	prop := func(seed int64, bi, di int16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomExpr(rng, 3+rng.Intn(3))
+		orig := MustParse(src)
+		simp := Simplify(orig)
+		base := relation.Tuple{relation.NewInt(int64(bi)), relation.Null, relation.NewString("s")}
+		det := relation.Tuple{relation.NewInt(int64(di)), relation.NewFloat(float64(di)), relation.NewString("t")}
+		b1, err1 := Bind(orig, baseSchema, detailSchema)
+		b2, err2 := Bind(simp, baseSchema, detailSchema)
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("seed %d: bindability changed for %s -> %s", seed, orig, simp)
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		v1, e1 := EvalCond(b1, base, det)
+		v2, e2 := EvalCond(b2, base, det)
+		if (e1 == nil) != (e2 == nil) || v1 != v2 {
+			t.Logf("seed %d: %s (=%v,%v) vs %s (=%v,%v)", seed, orig, v1, e1, simp, v2, e2)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Simplified trees never grow.
+func TestSimplifyNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		e := MustParse(randomExpr(rng, 4))
+		if size(Simplify(e)) > size(e) {
+			t.Fatalf("Simplify grew %s -> %s", e, Simplify(e))
+		}
+	}
+}
+
+func size(e Expr) int {
+	switch n := e.(type) {
+	case *Bin:
+		return 1 + size(n.L) + size(n.R)
+	case *Un:
+		return 1 + size(n.X)
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,472 @@
+package gmdj
+
+import (
+	"fmt"
+
+	"skalla/internal/agg"
+	"skalla/internal/expr"
+	"skalla/internal/relation"
+)
+
+// RowSource is a scannable detail relation: evaluation never needs random
+// access to detail rows, only sequential scans, so sites can serve
+// partitions from memory (relation.Relation via SourceOf) or from disk
+// (internal/store.Table) behind the same interface with bounded memory.
+type RowSource interface {
+	// Schema describes the rows.
+	Schema() relation.Schema
+	// Scan streams every row through fn; an fn error aborts the scan.
+	Scan(fn func(relation.Tuple) error) error
+	// Len returns the row count.
+	Len() int
+}
+
+// SourceOf adapts a materialized relation to a RowSource.
+func SourceOf(r *relation.Relation) RowSource { return relSource{r} }
+
+type relSource struct{ r *relation.Relation }
+
+func (s relSource) Schema() relation.Schema { return s.r.Schema }
+func (s relSource) Len() int                { return s.r.Len() }
+func (s relSource) Scan(fn func(relation.Tuple) error) error {
+	for _, t := range s.r.Tuples {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DataSource resolves detail relation names to scannable sources.
+type DataSource interface {
+	SchemaSource
+	DetailSource(name string) (RowSource, error)
+}
+
+// Data is a map-based DataSource over materialized relations.
+type Data map[string]*relation.Relation
+
+// DetailSchema implements SchemaSource.
+func (d Data) DetailSchema(name string) (relation.Schema, error) {
+	r, err := d.DetailRelation(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.Schema, nil
+}
+
+// DetailRelation returns the named materialized relation.
+func (d Data) DetailRelation(name string) (*relation.Relation, error) {
+	r, ok := d[name]
+	if !ok {
+		return nil, fmt.Errorf("gmdj: unknown detail relation %q", name)
+	}
+	return r, nil
+}
+
+// DetailSource implements DataSource.
+func (d Data) DetailSource(name string) (RowSource, error) {
+	r, err := d.DetailRelation(name)
+	if err != nil {
+		return nil, err
+	}
+	return SourceOf(r), nil
+}
+
+// EvalCentral evaluates a complex GMDJ expression against fully materialized
+// data, exactly per Definition 1: each base tuple's aggregates are computed
+// over RNG(b, R, θ). It is the centralized reference implementation — the
+// role Daytona plays in the paper — and the correctness oracle for the
+// distributed evaluator. Equality-linked conditions are evaluated with a
+// hash-grouping fast path; set useHash=false to force the literal
+// nested-loop semantics (used to cross-check the fast path).
+func EvalCentral(q Query, src DataSource, useHash bool) (*relation.Relation, error) {
+	x, err := EvalCentralX(q, src, useHash)
+	if err != nil {
+		return nil, err
+	}
+	return x.Project(FinalColumns(q))
+}
+
+// EvalCentralX is EvalCentral without the final projection: it returns the
+// full base-result structure X (base columns, physical sub-aggregate columns
+// and derived AVG columns). The distributed engine's local evaluation rounds
+// (Prop. 2 / Cor. 1) ship this form so the coordinator can still merge
+// physical columns by key.
+func EvalCentralX(q Query, src DataSource, useHash bool) (*relation.Relation, error) {
+	if err := q.Validate(src); err != nil {
+		return nil, err
+	}
+	return evalPrefixX(q, src, len(q.Ops), useHash)
+}
+
+// EvalPrefixX evaluates the base query and the first upTo operators,
+// returning the intermediate base-result structure X_upTo. The query must
+// already be validated.
+func EvalPrefixX(q Query, src DataSource, upTo int, useHash bool) (*relation.Relation, error) {
+	if upTo < 0 || upTo > len(q.Ops) {
+		return nil, fmt.Errorf("gmdj: prefix %d out of range (query has %d operators)", upTo, len(q.Ops))
+	}
+	return evalPrefixX(q, src, upTo, useHash)
+}
+
+func evalPrefixX(q Query, src DataSource, upTo int, useHash bool) (*relation.Relation, error) {
+	baseRel, err := src.DetailSource(q.Base.Detail)
+	if err != nil {
+		return nil, err
+	}
+	x, err := EvalBase(q.Base, baseRel)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < upTo; i++ {
+		op := q.Ops[i]
+		detail, err := src.DetailSource(op.Detail)
+		if err != nil {
+			return nil, err
+		}
+		x, err = ApplyOperator(x, op, detail, useHash)
+		if err != nil {
+			return nil, fmt.Errorf("gmdj: MD%d: %w", i+1, err)
+		}
+	}
+	return x, nil
+}
+
+// EvalBase computes the base-values relation B_0 from a detail source: an
+// optional filter followed by a distinct projection, generalized to grouping
+// sets when bq.GroupingSets is non-empty (the union over sets of NULL-padded
+// distinct projections; see BaseQuery). The detail rows are streamed once;
+// memory is bounded by the number of distinct base values.
+func EvalBase(bq BaseQuery, detail RowSource) (*relation.Relation, error) {
+	schema := detail.Schema()
+	var where expr.Expr
+	if bq.Where != nil {
+		var err error
+		where, err = expr.Bind(bq.Where, nil, schema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	idx, err := schema.Indexes(bq.Cols)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(schema.Project(idx))
+	allCols := make([]int, len(bq.Cols))
+	for i := range allCols {
+		allCols[i] = i
+	}
+
+	// Precompute the grouping-set masks; the plain distinct projection is
+	// the single full set.
+	sets := bq.GroupingSets
+	if len(sets) == 0 {
+		sets = [][]string{bq.Cols}
+	}
+	masks := make([][]bool, len(sets))
+	for si, set := range sets {
+		mask := make([]bool, len(bq.Cols))
+		for _, col := range set {
+			for i, c := range bq.Cols {
+				if c == col {
+					mask[i] = true
+				}
+			}
+		}
+		masks[si] = mask
+	}
+
+	seen := make(map[string]struct{})
+	err = detail.Scan(func(t relation.Tuple) error {
+		if where != nil {
+			ok, err := expr.EvalCond(where, nil, t)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		for _, mask := range masks {
+			padded := make(relation.Tuple, len(idx))
+			for i, j := range idx {
+				if mask[i] {
+					padded[i] = t[j]
+				} else {
+					padded[i] = relation.Null
+				}
+			}
+			key := padded.Key(allCols)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out.Tuples = append(out.Tuples, padded)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// OperatorAccum holds the per-base-row physical accumulators of one MD
+// operator evaluation over one detail relation (or one partition of it), one
+// slice per grouping variable, plus the Touched flags: Touched[i] is the
+// |RNG(b_i, R, θ_1 ∨ … ∨ θ_m)| > 0 test of Proposition 1, used for
+// distribution-independent group reduction.
+type OperatorAccum struct {
+	Layouts []*agg.Layout
+	Accs    [][]relation.Tuple // [variable][baseRow]
+	Touched []bool
+}
+
+// AccumulateOperator evaluates one MD operator's grouping variables over the
+// detail rows, per Definition 1, producing physical sub-aggregate slices for
+// every base row. The detail source is scanned once per grouping variable;
+// conditions with equality links use a hash-grouping fast path over the base
+// relation, grouping-set conditions use the 2^n-probe cube path, and
+// everything else falls back to the literal nested loop (detail-outer, so
+// disk-backed sources are still scanned sequentially).
+func AccumulateOperator(x *relation.Relation, op Operator, detail RowSource, useHash bool) (*OperatorAccum, error) {
+	out := &OperatorAccum{
+		Layouts: make([]*agg.Layout, len(op.Vars)),
+		Accs:    make([][]relation.Tuple, len(op.Vars)),
+		Touched: make([]bool, x.Len()),
+	}
+	type varState struct {
+		layout  *agg.Layout
+		cond    expr.Expr
+		hashIdx *relation.KeyIndex
+		probe   []int
+		// rollup marks the grouping-set fast path: probe holds the detail
+		// column positions of the dimensions, and every detail row is probed
+		// with all 2^n NULL paddings (each base row matches at most one —
+		// the one mirroring its own NULL pattern).
+		rollup bool
+	}
+	detailSchema := detail.Schema()
+	states := make([]*varState, len(op.Vars))
+	for vi, v := range op.Vars {
+		layout, err := agg.NewLayout(v.Aggs, detailSchema)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := expr.Bind(v.Cond, x.Schema, detailSchema)
+		if err != nil {
+			return nil, err
+		}
+		st := &varState{layout: layout, cond: cond}
+		out.Layouts[vi] = layout
+		accs := make([]relation.Tuple, x.Len())
+		for i := range accs {
+			accs[i] = layout.Identity()
+		}
+		out.Accs[vi] = accs
+		if useHash {
+			links := expr.EqualityLinks(cond)
+			rollup := false
+			if len(links) == 0 {
+				// Grouping-set conditions have their equalities under ORs;
+				// recognize the rollup shape and use the 2^n-probe cube path.
+				if rl, ok := expr.RollupLinks(cond); ok && len(rl) <= 16 {
+					links, rollup = rl, true
+				}
+			}
+			if len(links) > 0 {
+				baseCols := make([]string, len(links))
+				st.probe = make([]int, len(links))
+				usable := true
+				for li, l := range links {
+					baseCols[li] = l.Base
+					di := detailSchema.Index(l.Detail)
+					if di < 0 {
+						usable = false
+						break
+					}
+					st.probe[li] = di
+				}
+				if usable {
+					if idx, err := relation.BuildKeyIndex(x, baseCols); err == nil {
+						st.hashIdx = idx
+						st.rollup = rollup
+					}
+				}
+			}
+		}
+		states[vi] = st
+	}
+
+	for vi, st := range states {
+		accs := out.Accs[vi]
+		if st.hashIdx != nil && st.rollup {
+			n := len(st.probe)
+			padded := make(relation.Tuple, n)
+			paddedCols := make([]int, n)
+			for i := range paddedCols {
+				paddedCols[i] = i
+			}
+			err := detail.Scan(func(dr relation.Tuple) error {
+				// A NULL detail value pads identically whether its bit is
+				// set or not; restrict masks to non-NULL dimensions so no
+				// probe (and hence no base row) repeats for this detail row.
+				nullBits := 0
+				for i, di := range st.probe {
+					if dr[di].IsNull() {
+						nullBits |= 1 << i
+					}
+				}
+				for mask := 0; mask < 1<<n; mask++ {
+					if mask&nullBits != 0 {
+						continue
+					}
+					for i, di := range st.probe {
+						if mask&(1<<i) != 0 {
+							padded[i] = dr[di]
+						} else {
+							padded[i] = relation.Null
+						}
+					}
+					for _, bi := range st.hashIdx.Lookup(padded, paddedCols) {
+						ok, err := expr.EvalCond(st.cond, x.Tuples[bi], dr)
+						if err != nil {
+							return err
+						}
+						if ok {
+							if err := st.layout.Accumulate(accs[bi], dr); err != nil {
+								return err
+							}
+							out.Touched[bi] = true
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if st.hashIdx != nil {
+			err := detail.Scan(func(dr relation.Tuple) error {
+				for _, bi := range st.hashIdx.Lookup(dr, st.probe) {
+					ok, err := expr.EvalCond(st.cond, x.Tuples[bi], dr)
+					if err != nil {
+						return err
+					}
+					if ok {
+						if err := st.layout.Accumulate(accs[bi], dr); err != nil {
+							return err
+						}
+						out.Touched[bi] = true
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := detail.Scan(func(dr relation.Tuple) error {
+			for bi, br := range x.Tuples {
+				ok, err := expr.EvalCond(st.cond, br, dr)
+				if err != nil {
+					return err
+				}
+				if ok {
+					if err := st.layout.Accumulate(accs[bi], dr); err != nil {
+						return err
+					}
+					out.Touched[bi] = true
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ExtendedSchema returns the base schema extended with the operator's
+// physical and derived columns, in layout order.
+func (a *OperatorAccum) ExtendedSchema(base relation.Schema) (relation.Schema, error) {
+	out := base.Clone()
+	var err error
+	for _, l := range a.Layouts {
+		if out, err = out.Concat(l.PhysSchema()); err != nil {
+			return nil, err
+		}
+		if out, err = out.Concat(l.DerivedSchema()); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ExtendRow returns base row i's values followed by its physical and derived
+// aggregate values.
+func (a *OperatorAccum) ExtendRow(baseRow relation.Tuple, i int) relation.Tuple {
+	row := make(relation.Tuple, 0, len(baseRow)+a.physWidth())
+	row = append(row, baseRow...)
+	for vi, l := range a.Layouts {
+		row = append(row, a.Accs[vi][i]...)
+		row = append(row, l.ComputeDerived(a.Accs[vi][i])...)
+	}
+	return row
+}
+
+// PhysRow returns only base row i's physical aggregate values across all
+// variables (the sub-aggregate payload shipped in H_i rows).
+func (a *OperatorAccum) PhysRow(i int) relation.Tuple {
+	var row relation.Tuple
+	for vi := range a.Layouts {
+		row = append(row, a.Accs[vi][i]...)
+	}
+	return row
+}
+
+// PhysSchema returns the concatenated physical schema across all variables.
+func (a *OperatorAccum) PhysSchema() (relation.Schema, error) {
+	var out relation.Schema
+	var err error
+	for _, l := range a.Layouts {
+		if out, err = out.Concat(l.PhysSchema()); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (a *OperatorAccum) physWidth() int {
+	n := 0
+	for _, l := range a.Layouts {
+		n += len(l.Phys) + len(l.Derived)
+	}
+	return n
+}
+
+// ApplyOperator evaluates one MD operator: for every tuple of the incoming
+// base-values relation x it computes, per grouping variable, the aggregates
+// over the detail rows satisfying the variable's condition, and returns x
+// extended with the new physical and derived columns. x is not modified.
+func ApplyOperator(x *relation.Relation, op Operator, detail RowSource, useHash bool) (*relation.Relation, error) {
+	acc, err := AccumulateOperator(x, op, detail, useHash)
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := acc.ExtendedSchema(x.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(outSchema)
+	out.Tuples = make([]relation.Tuple, x.Len())
+	for i, br := range x.Tuples {
+		out.Tuples[i] = acc.ExtendRow(br, i)
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package manifest
+
+import (
+	"path/filepath"
+	"testing"
+
+	"skalla/internal/flow"
+	"skalla/internal/tpc"
+)
+
+func tpcManifest() *Manifest {
+	c := tpc.Config{Rows: 100, Customers: 50, Nations: 25, CitiesPerNation: 4, Clerks: 10, Seed: 1}
+	return &Manifest{Kind: KindTPC, NumSites: 4, TPC: &c}
+}
+
+func flowManifest() *Manifest {
+	c := flow.Config{Rows: 100, Routers: 3, SourceAS: 10, DestAS: 5, Seed: 1}
+	return &Manifest{Kind: KindFlow, NumSites: 3, Flow: &c}
+}
+
+func TestValidate(t *testing.T) {
+	if err := tpcManifest().Validate(); err != nil {
+		t.Errorf("tpc manifest: %v", err)
+	}
+	if err := flowManifest().Validate(); err != nil {
+		t.Errorf("flow manifest: %v", err)
+	}
+	bad := []*Manifest{
+		{Kind: "weird", NumSites: 1},
+		{Kind: KindTPC, NumSites: 1},                             // missing config
+		{Kind: KindFlow, NumSites: 1},                            // missing config
+		{Kind: KindTPC, NumSites: 0, TPC: tpcManifest().TPC},     // bad sites
+		{Kind: KindFlow, NumSites: 2, Flow: flowManifest().Flow}, // router mismatch
+		{Kind: KindTPC, NumSites: 2, TPC: &tpc.Config{}},         // invalid config
+		{Kind: KindFlow, NumSites: 0, Flow: &flow.Config{}},      // invalid config
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad manifest %d accepted", i)
+		}
+	}
+}
+
+func TestRelationName(t *testing.T) {
+	if n, err := tpcManifest().RelationName(); err != nil || n != tpc.RelationName {
+		t.Errorf("tpc relation: %q %v", n, err)
+	}
+	if n, err := flowManifest().RelationName(); err != nil || n != flow.RelationName {
+		t.Errorf("flow relation: %q %v", n, err)
+	}
+	if _, err := (&Manifest{Kind: "zz"}).RelationName(); err == nil {
+		t.Error("unknown kind must error")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	cat, err := tpcManifest().Catalog(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Distribution(tpc.RelationName) == nil {
+		t.Error("tpc catalog missing distribution")
+	}
+	if _, err := tpcManifest().Catalog(9); err == nil {
+		t.Error("out-of-range subcluster must error")
+	}
+	fcat, err := flowManifest().Catalog(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fcat.Distribution(flow.RelationName) == nil {
+		t.Error("flow catalog missing distribution")
+	}
+	if _, err := flowManifest().Catalog(2); err == nil {
+		t.Error("flow subclusters are unsupported and must error")
+	}
+	if _, err := (&Manifest{Kind: "zz", NumSites: 1}).Catalog(1); err == nil {
+		t.Error("unknown kind must error")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := tpcManifest()
+	if err := m.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != m.Kind || got.NumSites != m.NumSites || *got.TPC != *m.TPC {
+		t.Errorf("round trip: %+v vs %+v", got, m)
+	}
+	// Invalid manifests are rejected on save and load.
+	if err := (&Manifest{Kind: "zz"}).Save(dir); err == nil {
+		t.Error("invalid manifest must not save")
+	}
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("missing manifest must error")
+	}
+}
+
+func TestSitePath(t *testing.T) {
+	got := SitePath("/data", 3, "TPCR")
+	want := filepath.Join("/data", "site03", "TPCR.gob")
+	if got != want {
+		t.Errorf("SitePath = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,229 @@
+// Package plan implements Egil, the Skalla query planner: it takes a complex
+// GMDJ expression, the distribution catalog, and a set of optimization
+// switches, and produces the distributed evaluation plan executed by the
+// coordinator (internal/core). Planning applies, in order:
+//
+//  1. coalescing of adjacent independent MD operators (Sect. 4.3),
+//  2. the synchronization-reduction analyses — Proposition 2 (fold the
+//     base-values sync into the first operator round) and Corollary 1
+//     (evaluate the whole chain locally, one synchronization),
+//  3. distribution-aware group reduction (Theorem 4): per-operator, per-site
+//     coordinator-side predicates selecting the base fragment each site needs,
+//  4. the distribution-independent guard flag (Proposition 1), applied by the
+//     sites at execution time.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"skalla/internal/distrib"
+	"skalla/internal/expr"
+	"skalla/internal/gmdj"
+	"skalla/internal/relation"
+)
+
+// Options are the optimization switches studied in the paper's Sect. 5
+// experiments. The zero value disables everything (the baseline plans).
+type Options struct {
+	// Coalesce merges adjacent independent MD operators (Fig. 3).
+	Coalesce bool
+	// GroupReduceSite is distribution-independent group reduction: sites
+	// return only groups with |RNG| > 0 (Prop. 1; the site-side half of
+	// Fig. 2).
+	GroupReduceSite bool
+	// GroupReduceCoord is distribution-aware group reduction: the
+	// coordinator ships each site only the base tuples it can contribute to
+	// (Thm. 4; the coordinator-side half of Fig. 2).
+	GroupReduceCoord bool
+	// SyncReduce enables the synchronization reductions of Prop. 2 and
+	// Cor. 1 (Fig. 4).
+	SyncReduce bool
+}
+
+// None disables every optimization.
+func None() Options { return Options{} }
+
+// All enables every optimization.
+func All() Options {
+	return Options{Coalesce: true, GroupReduceSite: true, GroupReduceCoord: true, SyncReduce: true}
+}
+
+// String lists the enabled switches.
+func (o Options) String() string {
+	var on []string
+	if o.Coalesce {
+		on = append(on, "coalesce")
+	}
+	if o.GroupReduceSite {
+		on = append(on, "group-reduce-site")
+	}
+	if o.GroupReduceCoord {
+		on = append(on, "group-reduce-coord")
+	}
+	if o.SyncReduce {
+		on = append(on, "sync-reduce")
+	}
+	if len(on) == 0 {
+		return "none"
+	}
+	return strings.Join(on, ",")
+}
+
+// Plan is a compiled distributed evaluation plan.
+type Plan struct {
+	// Query is the (possibly coalesced) query to execute.
+	Query gmdj.Query
+	// Opts are the switches the plan was compiled with.
+	Opts Options
+	// NumSites is the number of participating sites.
+	NumSites int
+	// Merges counts coalescing rewrites applied.
+	Merges int
+	// SkipBaseSync is Prop. 2: the base round is folded into the first
+	// operator round (sites evaluate base+MD1 locally).
+	SkipBaseSync bool
+	// LocalPrefix is the number of leading operators evaluated entirely at
+	// the sites with one synchronization at the end of the prefix (Thm. 5 /
+	// Cor. 1 family; see distrib.LocalPrefixLen). Zero means no local
+	// prefix.
+	LocalPrefix int
+	// FullLocal is Cor. 1: LocalPrefix covers the entire chain, so the
+	// query runs in a single fully local round.
+	FullLocal bool
+	// XSchemas[k] is the base-result structure schema after k operators.
+	XSchemas []relation.Schema
+	// Reducers[k][site] is the Thm. 4 base-fragment predicate for operator k
+	// at the given site; Reducers[k] == nil means no reduction derivable.
+	Reducers [][]distrib.ReductionPred
+}
+
+// New compiles a plan. The schema source provides detail schemas (typically
+// fetched once from a site); cat may be nil when no distribution knowledge
+// exists, which disables the distribution-aware optimizations.
+func New(q gmdj.Query, src gmdj.SchemaSource, cat *distrib.Catalog, numSites int, opts Options) (*Plan, error) {
+	if numSites <= 0 {
+		return nil, fmt.Errorf("plan: numSites = %d", numSites)
+	}
+	if err := q.Validate(src); err != nil {
+		return nil, err
+	}
+	// Distribution knowledge must describe the same deployment.
+	if dist := cat.Distribution(q.Base.Detail); dist != nil && dist.NumSites != numSites {
+		return nil, fmt.Errorf("plan: catalog describes %d sites for %q, executing on %d",
+			dist.NumSites, q.Base.Detail, numSites)
+	}
+
+	p := &Plan{Opts: opts, NumSites: numSites}
+
+	p.Query = q
+	if opts.Coalesce {
+		cq, merges, err := gmdj.Coalesce(q, src)
+		if err != nil {
+			return nil, err
+		}
+		p.Query, p.Merges = cq, merges
+	}
+	// Simplify every condition before the distribution analyses and before
+	// shipping anything: constant folding and logical-identity elimination
+	// shrink the wire plans and can expose equality links (e.g. a front end
+	// emitting "true && B.k = R.k") to the Sect. 4 analyses.
+	p.Query = simplifyQuery(p.Query)
+
+	xs, err := gmdj.XSchemas(p.Query, src)
+	if err != nil {
+		return nil, err
+	}
+	p.XSchemas = xs
+
+	if opts.SyncReduce {
+		p.LocalPrefix = distrib.LocalPrefixLen(p.Query, cat)
+		p.FullLocal = len(p.Query.Ops) > 0 && p.LocalPrefix == len(p.Query.Ops)
+		if p.LocalPrefix == 0 {
+			p.SkipBaseSync = distrib.CanSkipBaseSync(p.Query)
+		}
+	}
+
+	if opts.GroupReduceCoord && !p.FullLocal {
+		dist := cat.Distribution(p.Query.Base.Detail)
+		p.Reducers = make([][]distrib.ReductionPred, len(p.Query.Ops))
+		for k, op := range p.Query.Ops {
+			if k < p.LocalPrefix {
+				continue // evaluated locally; nothing is shipped
+			}
+			opDist := dist
+			if op.Detail != p.Query.Base.Detail {
+				opDist = cat.Distribution(op.Detail)
+				if opDist != nil && opDist.NumSites != numSites {
+					return nil, fmt.Errorf("plan: catalog describes %d sites for %q, executing on %d",
+						opDist.NumSites, op.Detail, numSites)
+				}
+			}
+			preds, ok, err := distrib.GroupReducers(op, xs[k], opDist)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				p.Reducers[k] = preds
+			}
+		}
+	}
+	return p, nil
+}
+
+// Rounds predicts the number of synchronization rounds the plan needs: a
+// local prefix of k operators costs one round plus one per remaining
+// operator; Prop. 2 saves the base round; otherwise an m-operator query uses
+// m+1 rounds (Sect. 3.2).
+func (p *Plan) Rounds() int {
+	if p.LocalPrefix > 0 {
+		return 1 + len(p.Query.Ops) - p.LocalPrefix
+	}
+	if p.SkipBaseSync {
+		return len(p.Query.Ops)
+	}
+	return len(p.Query.Ops) + 1
+}
+
+// Keys returns the base key attributes K.
+func (p *Plan) Keys() []string { return p.Query.Keys() }
+
+// Describe renders a human-readable plan summary (the CLI's EXPLAIN output).
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %d site(s), options [%s]\n", p.NumSites, p.Opts)
+	fmt.Fprintf(&b, "  operators: %d (coalescing merges: %d)\n", len(p.Query.Ops), p.Merges)
+	fmt.Fprintf(&b, "  synchronization rounds: %d\n", p.Rounds())
+	switch {
+	case p.FullLocal:
+		b.WriteString("  sync reduction: full local evaluation (Cor. 1)\n")
+	case p.LocalPrefix > 0:
+		fmt.Fprintf(&b, "  sync reduction: MD1..MD%d evaluated locally (Thm. 5 prefix)\n", p.LocalPrefix)
+	case p.SkipBaseSync:
+		b.WriteString("  sync reduction: base sync folded into MD1 (Prop. 2)\n")
+	}
+	for k := range p.Query.Ops {
+		reduced := p.Reducers != nil && k < len(p.Reducers) && p.Reducers[k] != nil
+		fmt.Fprintf(&b, "  MD%d: coordinator-side group reduction: %v, site-side guard: %v\n",
+			k+1, reduced, p.Opts.GroupReduceSite)
+	}
+	return b.String()
+}
+
+// simplifyQuery returns a copy of the query with every condition passed
+// through expr.Simplify. The input query is not modified.
+func simplifyQuery(q gmdj.Query) gmdj.Query {
+	out := q
+	if q.Base.Where != nil {
+		out.Base.Where = expr.Simplify(q.Base.Where)
+	}
+	out.Ops = make([]gmdj.Operator, len(q.Ops))
+	for i, op := range q.Ops {
+		vars := make([]gmdj.GroupVar, len(op.Vars))
+		for j, v := range op.Vars {
+			vars[j] = gmdj.GroupVar{Aggs: v.Aggs, Cond: expr.Simplify(v.Cond)}
+		}
+		out.Ops[i] = gmdj.Operator{Detail: op.Detail, Vars: vars}
+	}
+	return out
+}

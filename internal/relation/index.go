@@ -1,0 +1,63 @@
+package relation
+
+import "fmt"
+
+// KeyIndex is a hash index mapping key-column values to row positions of a
+// relation. The Skalla coordinator maintains one over the base-result
+// structure X, keyed on the base key attributes K, so that synchronization of
+// an incoming sub-aggregate relation H runs in O(|H|) (Theorem 1 discussion
+// in the paper).
+type KeyIndex struct {
+	keyCols []int
+	rows    map[string][]int
+}
+
+// BuildKeyIndex indexes r on the named key columns.
+func BuildKeyIndex(r *Relation, keyNames []string) (*KeyIndex, error) {
+	idx, err := r.Schema.Indexes(keyNames)
+	if err != nil {
+		return nil, err
+	}
+	ki := &KeyIndex{keyCols: idx, rows: make(map[string][]int, len(r.Tuples))}
+	for i, t := range r.Tuples {
+		k := t.Key(idx)
+		ki.rows[k] = append(ki.rows[k], i)
+	}
+	return ki, nil
+}
+
+// KeyCols returns the indexed column positions.
+func (ki *KeyIndex) KeyCols() []int { return ki.keyCols }
+
+// Lookup returns the row positions whose key columns equal those of probe,
+// where probeCols gives the positions of the key attributes within probe.
+func (ki *KeyIndex) Lookup(probe Tuple, probeCols []int) []int {
+	return ki.rows[probe.Key(probeCols)]
+}
+
+// LookupKey returns the row positions for a pre-computed key.
+func (ki *KeyIndex) LookupKey(key string) []int { return ki.rows[key] }
+
+// Add registers a new row position under the key of tuple t (taken from the
+// indexed relation's own key columns).
+func (ki *KeyIndex) Add(t Tuple, row int) {
+	k := t.Key(ki.keyCols)
+	ki.rows[k] = append(ki.rows[k], row)
+}
+
+// Unique returns the single row for the key of probe. It returns an error if
+// zero or multiple rows match; used where keys are known to be unique.
+func (ki *KeyIndex) Unique(probe Tuple, probeCols []int) (int, error) {
+	rows := ki.Lookup(probe, probeCols)
+	switch len(rows) {
+	case 1:
+		return rows[0], nil
+	case 0:
+		return -1, fmt.Errorf("keyindex: no row for key")
+	default:
+		return -1, fmt.Errorf("keyindex: %d rows for key, want 1", len(rows))
+	}
+}
+
+// Len returns the number of distinct keys.
+func (ki *KeyIndex) Len() int { return len(ki.rows) }

@@ -1,0 +1,130 @@
+package relation
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func ioTestRel() *Relation {
+	r := New(MustSchema(
+		Column{"id", KindInt},
+		Column{"price", KindFloat},
+		Column{"name", KindString},
+		Column{"flag", KindBool},
+	))
+	r.MustAppend(Tuple{NewInt(1), NewFloat(2.5), NewString("a,b\"c"), NewBool(true)})
+	r.MustAppend(Tuple{NewInt(-7), Null, NewString(""), NewBool(false)})
+	r.MustAppend(Tuple{Null, NewFloat(0), NewString("line\nbreak"), Null})
+	return r
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	r := ioTestRel()
+	var buf bytes.Buffer
+	if err := r.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualMultiset(r) {
+		t.Errorf("gob round trip changed relation:\n%s\nvs\n%s", got, r)
+	}
+}
+
+func TestGobFileRoundTrip(t *testing.T) {
+	r := ioTestRel()
+	path := filepath.Join(t.TempDir(), "rel.gob")
+	if err := r.SaveGobFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGobFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualMultiset(r) {
+		t.Error("gob file round trip changed relation")
+	}
+	if _, err := LoadGobFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestReadGobRejectsCorrupt(t *testing.T) {
+	if _, err := ReadGob(strings.NewReader("not gob")); err == nil {
+		t.Error("corrupt stream must error")
+	}
+	// Arity mismatch is caught after decode.
+	bad := &Relation{
+		Schema: MustSchema(Column{"a", KindInt}),
+		Tuples: []Tuple{{NewInt(1), NewInt(2)}},
+	}
+	var buf bytes.Buffer
+	if err := bad.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGob(&buf); err == nil {
+		t.Error("arity mismatch must be rejected")
+	}
+}
+
+// NULL round-trips through CSV only when the column's empty-string encoding
+// is unambiguous; the string "" and NULL collide by design, so compare field
+// by field except that case.
+func TestCSVRoundTrip(t *testing.T) {
+	r := ioTestRel()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Schema.Equal(r.Schema) {
+		t.Fatalf("schema: %s vs %s", got.Schema, r.Schema)
+	}
+	if got.Len() != r.Len() {
+		t.Fatalf("rows: %d vs %d", got.Len(), r.Len())
+	}
+	for i := range r.Tuples {
+		for j := range r.Tuples[i] {
+			want := r.Tuples[i][j]
+			if want.Kind == KindString && want.Str == "" {
+				want = Null // empty string reads back as NULL
+			}
+			if !got.Tuples[i][j].Equal(want) {
+				t.Errorf("cell [%d][%d]: %v vs %v", i, j, got.Tuples[i][j], want)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                  // no header
+		"a\n1",              // missing kind
+		"a:WEIRD\n1",        // unknown kind
+		"a:INT\nxx",         // bad int
+		"a:FLOAT\nxx",       // bad float
+		"a:BOOL\nxx",        // bad bool
+		"a:INT,a:INT\n1,2",  // duplicate columns
+		"a:NULL\nsomething", // cannot parse into NULL kind
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadCSV(%q): expected error", src)
+		}
+	}
+	// Valid minimal file.
+	got, err := ReadCSV(strings.NewReader("a:INT,b:STRING\n1,x\n,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || !got.Tuples[1][0].IsNull() {
+		t.Errorf("parsed: %s", got)
+	}
+}

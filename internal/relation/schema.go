@@ -1,0 +1,151 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns. Column names are unique within a
+// schema.
+type Schema []Column
+
+// NewSchema builds a schema from name/kind pairs and validates uniqueness.
+func NewSchema(cols ...Column) (Schema, error) {
+	s := Schema(cols)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema but panics on error; intended for tests and
+// statically known schemas.
+func MustSchema(cols ...Column) Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Validate checks that column names are non-empty and unique.
+func (s Schema) Validate() error {
+	seen := make(map[string]struct{}, len(s))
+	for i, c := range s {
+		if c.Name == "" {
+			return fmt.Errorf("schema: column %d has empty name", i)
+		}
+		if _, dup := seen[c.Name]; dup {
+			return fmt.Errorf("schema: duplicate column name %q", c.Name)
+		}
+		seen[c.Name] = struct{}{}
+	}
+	return nil
+}
+
+// Index returns the position of the named column, or -1 if absent.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named column.
+func (s Schema) Has(name string) bool { return s.Index(name) >= 0 }
+
+// MustIndex returns the position of the named column and panics if absent.
+func (s Schema) MustIndex(name string) int {
+	i := s.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("schema: no column %q in %s", name, s))
+	}
+	return i
+}
+
+// Indexes resolves a list of column names to positions.
+func (s Schema) Indexes(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		j := s.Index(n)
+		if j < 0 {
+			return nil, fmt.Errorf("schema: no column %q in %s", n, s)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Project returns the sub-schema for the given column positions.
+func (s Schema) Project(idx []int) Schema {
+	out := make(Schema, len(idx))
+	for i, j := range idx {
+		out[i] = s[j]
+	}
+	return out
+}
+
+// Concat returns a new schema with o's columns appended. It returns an error
+// on duplicate names.
+func (s Schema) Concat(o Schema) (Schema, error) {
+	out := make(Schema, 0, len(s)+len(o))
+	out = append(out, s...)
+	out = append(out, o...)
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Equal reports whether two schemas have identical column names and kinds.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// String renders the schema as "(name KIND, ...)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() {
+		t.Error("Null must be NULL")
+	}
+	if v := NewInt(42); v.Kind != KindInt || v.Int != 42 {
+		t.Errorf("NewInt: got %+v", v)
+	}
+	if v := NewFloat(2.5); v.Kind != KindFloat || v.Float != 2.5 {
+		t.Errorf("NewFloat: got %+v", v)
+	}
+	if v := NewString("x"); v.Kind != KindString || v.Str != "x" {
+		t.Errorf("NewString: got %+v", v)
+	}
+	if v := NewBool(true); !v.Bool() {
+		t.Errorf("NewBool(true).Bool() = false")
+	}
+	if v := NewBool(false); v.Bool() {
+		t.Errorf("NewBool(false).Bool() = true")
+	}
+	if NewInt(1).Bool() {
+		t.Error("Bool() must be false for non-bool kinds")
+	}
+}
+
+func TestValueAsFloat(t *testing.T) {
+	if f, ok := NewInt(3).AsFloat(); !ok || f != 3 {
+		t.Errorf("AsFloat(int 3) = %v,%v", f, ok)
+	}
+	if f, ok := NewFloat(1.5).AsFloat(); !ok || f != 1.5 {
+		t.Errorf("AsFloat(float 1.5) = %v,%v", f, ok)
+	}
+	if _, ok := NewString("a").AsFloat(); ok {
+		t.Error("AsFloat(string) must fail")
+	}
+	if _, ok := Null.AsFloat(); ok {
+		t.Error("AsFloat(null) must fail")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{NewInt(1), NewInt(1), true},
+		{NewInt(1), NewInt(2), false},
+		{NewInt(1), NewFloat(1), true},
+		{NewFloat(1.5), NewFloat(1.5), true},
+		{NewString("a"), NewString("a"), true},
+		{NewString("a"), NewString("b"), false},
+		{NewBool(true), NewBool(true), true},
+		{NewBool(true), NewBool(false), false},
+		{Null, Null, true},
+		{Null, NewInt(0), false},
+		{NewString("1"), NewInt(1), false},
+		{NewBool(true), NewInt(1), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b   Value
+		want   int
+		wantOK bool
+	}{
+		{NewInt(1), NewInt(2), -1, true},
+		{NewInt(2), NewInt(2), 0, true},
+		{NewInt(3), NewInt(2), 1, true},
+		{NewInt(1), NewFloat(1.5), -1, true},
+		{NewFloat(2.5), NewInt(2), 1, true},
+		{NewString("a"), NewString("b"), -1, true},
+		{NewString("b"), NewString("b"), 0, true},
+		{NewBool(false), NewBool(true), -1, true},
+		{Null, NewInt(1), 0, false},
+		{NewInt(1), Null, 0, false},
+		{NewString("a"), NewInt(1), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := c.a.Compare(c.b)
+		if ok != c.wantOK || (ok && got != c.want) {
+			t.Errorf("Compare(%v, %v) = %v,%v want %v,%v", c.a, c.b, got, ok, c.want, c.wantOK)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(1.5), "1.5"},
+		{NewString("hi"), "hi"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindNull: "NULL", KindInt: "INT", KindFloat: "FLOAT",
+		KindString: "STRING", KindBool: "BOOL",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// Keys must be collision-free: two tuples get the same key iff their key
+// columns are pairwise Equal. Checked with testing/quick over random values.
+func TestTupleKeyCollisionFree(t *testing.T) {
+	gen := func(i int64, f float64, s string, pick uint8) Value {
+		switch pick % 4 {
+		case 0:
+			return NewInt(i)
+		case 1:
+			return NewFloat(f)
+		case 2:
+			return NewString(s)
+		default:
+			return NewBool(i%2 == 0)
+		}
+	}
+	prop := func(i1, i2 int64, f1, f2 float64, s1, s2 string, p1, p2 uint8) bool {
+		if math.IsNaN(f1) || math.IsNaN(f2) {
+			return true
+		}
+		a, b := gen(i1, f1, s1, p1), gen(i2, f2, s2, p2)
+		ta, tb := Tuple{a}, Tuple{b}
+		sameKey := ta.Key([]int{0}) == tb.Key([]int{0})
+		// Key encoding is exact per kind; cross-kind numeric Equal (int vs
+		// float) is the one place identity and Equal may disagree, which is
+		// fine for grouping (kinds within a column are homogeneous).
+		if a.Kind == b.Kind {
+			return sameKey == a.Equal(b)
+		}
+		return !sameKey
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleKeyMultiColumn(t *testing.T) {
+	// ("ab","c") must not collide with ("a","bc"): length prefixes prevent it.
+	t1 := Tuple{NewString("ab"), NewString("c")}
+	t2 := Tuple{NewString("a"), NewString("bc")}
+	if t1.Key([]int{0, 1}) == t2.Key([]int{0, 1}) {
+		t.Error("multi-column string keys collided")
+	}
+}
+
+func TestValueHash64(t *testing.T) {
+	if relation := NewInt(1).Hash64(); relation != NewInt(1).Hash64() {
+		t.Error("hash must be deterministic")
+	}
+	if NewInt(1).Hash64() == NewString("1").Hash64() {
+		t.Error("hash must be kind-aware")
+	}
+	if NewInt(1).Hash64() == NewInt(2).Hash64() {
+		t.Error("distinct ints should hash differently")
+	}
+	if Null.Hash64() == NewInt(0).Hash64() {
+		t.Error("NULL must not collide with 0")
+	}
+}

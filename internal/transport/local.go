@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"skalla/internal/engine"
+	"skalla/internal/gmdj"
+	"skalla/internal/relation"
+	"skalla/internal/stats"
+)
+
+// LocalSite is the in-process transport: it wraps an engine.Site and pushes
+// every request and response through gob serialization, so the byte and row
+// accounting matches a networked deployment while tests and benchmarks stay
+// single-process and deterministic.
+type LocalSite struct {
+	site Backend
+}
+
+// NewLocalSite wraps a backend (a site engine or a relay).
+func NewLocalSite(site Backend) *LocalSite { return &LocalSite{site: site} }
+
+// ID implements Site.
+func (l *LocalSite) ID() int { return l.site.ID() }
+
+// roundTrip serializes the request, decodes it into a fresh value (as the
+// remote end would), dispatches it, and serializes the response back.
+func (l *LocalSite) roundTrip(ctx context.Context, req *Request) (*Response, stats.Call, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, stats.Call{}, err
+	}
+	reqBytes, err := encodeValue(req)
+	if err != nil {
+		return nil, stats.Call{}, fmt.Errorf("transport: encode request: %w", err)
+	}
+	decReq, err := decodeValue[Request](reqBytes)
+	if err != nil {
+		return nil, stats.Call{}, fmt.Errorf("transport: decode request: %w", err)
+	}
+	resp := dispatch(l.site, decReq)
+	respBytes, err := encodeValue(resp)
+	if err != nil {
+		return nil, stats.Call{}, fmt.Errorf("transport: encode response: %w", err)
+	}
+	decResp, err := decodeValue[Response](respBytes)
+	if err != nil {
+		return nil, stats.Call{}, fmt.Errorf("transport: decode response: %w", err)
+	}
+	call := callFromSizes(l.site.ID(), req, decResp, len(reqBytes), len(respBytes))
+	if decResp.Err != "" {
+		return nil, call, errors.New(decResp.Err)
+	}
+	return decResp, call, nil
+}
+
+// EvalBase implements Site.
+func (l *LocalSite) EvalBase(ctx context.Context, bq gmdj.BaseQuery) (*relation.Relation, stats.Call, error) {
+	resp, call, err := l.roundTrip(ctx, &Request{Kind: KindBase, Base: &bq})
+	if err != nil {
+		return nil, call, err
+	}
+	return resp.Rel, call, nil
+}
+
+// EvalOperator implements Site.
+func (l *LocalSite) EvalOperator(ctx context.Context, req engine.OperatorRequest) (*relation.Relation, stats.Call, error) {
+	return collectStream(ctx, l, req)
+}
+
+// EvalOperatorStream implements Site: the request crosses the serialization
+// boundary once; each H_i block is serialized and delivered to sink as the
+// engine produces it.
+func (l *LocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorRequest, sink func(*relation.Relation) error) (stats.Call, error) {
+	if err := ctx.Err(); err != nil {
+		return stats.Call{}, err
+	}
+	wireReq := &Request{Kind: KindOperator, Operator: &req}
+	reqBytes, err := encodeValue(wireReq)
+	if err != nil {
+		return stats.Call{}, fmt.Errorf("transport: encode request: %w", err)
+	}
+	decReq, err := decodeValue[Request](reqBytes)
+	if err != nil {
+		return stats.Call{}, fmt.Errorf("transport: decode request: %w", err)
+	}
+	call := stats.Call{
+		Site:      l.site.ID(),
+		BytesDown: len(reqBytes),
+		RowsDown:  reqRows(wireReq),
+	}
+	start := time.Now()
+	evalErr := l.site.EvalOperatorBlocks(*decReq.Operator, func(block *relation.Relation) error {
+		blockBytes, err := encodeValue(&Response{Rel: block, More: true})
+		if err != nil {
+			return err
+		}
+		decBlock, err := decodeValue[Response](blockBytes)
+		if err != nil {
+			return err
+		}
+		call.BytesUp += len(blockBytes)
+		call.RowsUp += decBlock.Rel.Len()
+		return sink(decBlock.Rel)
+	})
+	call.Compute = time.Since(start)
+	if evalErr != nil {
+		return call, evalErr
+	}
+	// Terminal frame, as the network transport would send.
+	term, err := encodeValue(&Response{ComputeNS: call.Compute.Nanoseconds()})
+	if err != nil {
+		return call, err
+	}
+	call.BytesUp += len(term)
+	return call, nil
+}
+
+// EvalLocal implements Site.
+func (l *LocalSite) EvalLocal(ctx context.Context, req engine.LocalRequest) (*relation.Relation, stats.Call, error) {
+	resp, call, err := l.roundTrip(ctx, &Request{Kind: KindLocal, Local: &req})
+	if err != nil {
+		return nil, call, err
+	}
+	return resp.Rel, call, nil
+}
+
+// DetailSchema implements Site. Metadata calls bypass traffic accounting.
+func (l *LocalSite) DetailSchema(_ context.Context, name string) (relation.Schema, error) {
+	return l.site.DetailSchema(name)
+}
+
+// Tables implements Site.
+func (l *LocalSite) Tables(_ context.Context) ([]engine.TableInfo, error) {
+	return l.site.Tables(), nil
+}
+
+// Load implements Loader, installing a partition directly.
+func (l *LocalSite) Load(_ context.Context, name string, rel *relation.Relation) error {
+	return l.site.Load(name, rel)
+}
+
+// FastLocalSite is a zero-serialization variant of LocalSite for unit tests
+// and micro-benchmarks where wire fidelity does not matter: byte counts are
+// approximated from row counts, and requests are dispatched directly.
+type FastLocalSite struct {
+	site Backend
+}
+
+// NewFastLocalSite wraps a backend without serialization.
+func NewFastLocalSite(site Backend) *FastLocalSite { return &FastLocalSite{site: site} }
+
+// ID implements Site.
+func (f *FastLocalSite) ID() int { return f.site.ID() }
+
+func (f *FastLocalSite) call(ctx context.Context, req *Request) (*Response, stats.Call, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, stats.Call{}, err
+	}
+	resp := dispatch(f.site, req)
+	call := callFromSizes(f.site.ID(), req, resp, 0, 0)
+	if resp.Err != "" {
+		return nil, call, errors.New(resp.Err)
+	}
+	return resp, call, nil
+}
+
+// EvalBase implements Site.
+func (f *FastLocalSite) EvalBase(ctx context.Context, bq gmdj.BaseQuery) (*relation.Relation, stats.Call, error) {
+	resp, call, err := f.call(ctx, &Request{Kind: KindBase, Base: &bq})
+	if err != nil {
+		return nil, call, err
+	}
+	return resp.Rel, call, nil
+}
+
+// EvalOperator implements Site.
+func (f *FastLocalSite) EvalOperator(ctx context.Context, req engine.OperatorRequest) (*relation.Relation, stats.Call, error) {
+	resp, call, err := f.call(ctx, &Request{Kind: KindOperator, Operator: &req})
+	if err != nil {
+		return nil, call, err
+	}
+	return resp.Rel, call, nil
+}
+
+// EvalOperatorStream implements Site without serialization.
+func (f *FastLocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorRequest, sink func(*relation.Relation) error) (stats.Call, error) {
+	if err := ctx.Err(); err != nil {
+		return stats.Call{}, err
+	}
+	call := stats.Call{Site: f.site.ID(), RowsDown: baseRows(req)}
+	start := time.Now()
+	err := f.site.EvalOperatorBlocks(req, func(block *relation.Relation) error {
+		call.RowsUp += block.Len()
+		return sink(block)
+	})
+	call.Compute = time.Since(start)
+	return call, err
+}
+
+func baseRows(req engine.OperatorRequest) int {
+	if req.Base == nil {
+		return 0
+	}
+	return req.Base.Len()
+}
+
+// collectStream adapts a streaming implementation to the one-shot
+// EvalOperator contract.
+func collectStream(ctx context.Context, s Site, req engine.OperatorRequest) (*relation.Relation, stats.Call, error) {
+	var h *relation.Relation
+	call, err := s.EvalOperatorStream(ctx, req, func(block *relation.Relation) error {
+		if h == nil {
+			h = block
+			return nil
+		}
+		return h.Union(block)
+	})
+	if err != nil {
+		return nil, call, err
+	}
+	return h, call, nil
+}
+
+// EvalLocal implements Site.
+func (f *FastLocalSite) EvalLocal(ctx context.Context, req engine.LocalRequest) (*relation.Relation, stats.Call, error) {
+	resp, call, err := f.call(ctx, &Request{Kind: KindLocal, Local: &req})
+	if err != nil {
+		return nil, call, err
+	}
+	return resp.Rel, call, nil
+}
+
+// DetailSchema implements Site.
+func (f *FastLocalSite) DetailSchema(_ context.Context, name string) (relation.Schema, error) {
+	return f.site.DetailSchema(name)
+}
+
+// Tables implements Site.
+func (f *FastLocalSite) Tables(_ context.Context) ([]engine.TableInfo, error) {
+	return f.site.Tables(), nil
+}
+
+// Load implements Loader.
+func (f *FastLocalSite) Load(_ context.Context, name string, rel *relation.Relation) error {
+	return f.site.Load(name, rel)
+}

@@ -1,0 +1,308 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"skalla/internal/engine"
+	"skalla/internal/gmdj"
+	"skalla/internal/relation"
+	"skalla/internal/stats"
+)
+
+// Server exposes a site engine over TCP. The wire protocol is a stream of
+// gob-encoded Request/Response pairs per connection, processed sequentially.
+type Server struct {
+	site Backend
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving a backend — a site engine or a relay — on the given
+// address ("host:port"; use ":0" for an ephemeral port) and returns
+// immediately.
+func Serve(site Backend, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{site: site, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt stream
+		}
+		if req.Kind == KindOperator {
+			if err := s.streamOperator(enc, &req); err != nil {
+				log.Printf("skalla site %d: stream response: %v", s.site.ID(), err)
+				return
+			}
+			continue
+		}
+		resp := dispatch(s.site, &req)
+		if err := enc.Encode(resp); err != nil {
+			log.Printf("skalla site %d: encode response: %v", s.site.ID(), err)
+			return
+		}
+	}
+}
+
+// streamOperator evaluates an operator request with row blocking, sending
+// one response per H_i block (More set) and a terminal response carrying the
+// compute time and any evaluation error.
+func (s *Server) streamOperator(enc *gob.Encoder, req *Request) error {
+	start := time.Now()
+	var evalErr error
+	if req.Operator == nil {
+		evalErr = fmt.Errorf("transport: operator request without payload")
+	} else {
+		evalErr = s.site.EvalOperatorBlocks(*req.Operator, func(block *relation.Relation) error {
+			return enc.Encode(&Response{SiteID: s.site.ID(), Rel: block, More: true})
+		})
+	}
+	term := &Response{SiteID: s.site.ID(), ComputeNS: time.Since(start).Nanoseconds()}
+	if evalErr != nil {
+		term.Err = evalErr.Error()
+	}
+	return enc.Encode(term)
+}
+
+// countingConn wraps a net.Conn and counts bytes in each direction.
+type countingConn struct {
+	net.Conn
+	read, written int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.read += int64(n)
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.written += int64(n)
+	return n, err
+}
+
+// Client is a TCP Site: it connects to a Server and implements the Site
+// interface with per-call byte accounting from the connection itself.
+type Client struct {
+	mu   sync.Mutex
+	conn *countingConn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	id   int
+}
+
+// Dial connects to a site server and performs the hello handshake to learn
+// its identity.
+func Dial(addr string) (*Client, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := &countingConn{Conn: raw}
+	c := &Client{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}
+	resp, _, err := c.roundTrip(context.Background(), &Request{Kind: KindHello})
+	if err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	c.id = resp.SiteID
+	return c, nil
+}
+
+// ID implements Site.
+func (c *Client) ID() int { return c.id }
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, stats.Call, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, stats.Call{}, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(dl)
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	r0, w0 := c.conn.read, c.conn.written
+	if err := c.enc.Encode(req); err != nil {
+		return nil, stats.Call{}, fmt.Errorf("transport: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, stats.Call{}, fmt.Errorf("transport: receive: %w", err)
+	}
+	call := callFromSizes(c.id, req, &resp, int(c.conn.written-w0), int(c.conn.read-r0))
+	if resp.Err != "" {
+		return nil, call, errors.New(resp.Err)
+	}
+	return &resp, call, nil
+}
+
+// EvalBase implements Site.
+func (c *Client) EvalBase(ctx context.Context, bq gmdj.BaseQuery) (*relation.Relation, stats.Call, error) {
+	resp, call, err := c.roundTrip(ctx, &Request{Kind: KindBase, Base: &bq})
+	if err != nil {
+		return nil, call, err
+	}
+	return resp.Rel, call, nil
+}
+
+// EvalOperator implements Site.
+func (c *Client) EvalOperator(ctx context.Context, req engine.OperatorRequest) (*relation.Relation, stats.Call, error) {
+	return collectStream(ctx, c, req)
+}
+
+// EvalOperatorStream implements Site. The connection stays consistent even
+// when sink fails: remaining blocks are drained to the terminal response.
+func (c *Client) EvalOperatorStream(ctx context.Context, req engine.OperatorRequest, sink func(*relation.Relation) error) (stats.Call, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return stats.Call{}, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(dl)
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	r0, w0 := c.conn.read, c.conn.written
+	wireReq := &Request{Kind: KindOperator, Operator: &req}
+	if err := c.enc.Encode(wireReq); err != nil {
+		return stats.Call{}, fmt.Errorf("transport: send: %w", err)
+	}
+	call := stats.Call{Site: c.id, RowsDown: reqRows(wireReq)}
+	var sinkErr error
+	for {
+		var resp Response
+		if err := c.dec.Decode(&resp); err != nil {
+			return call, fmt.Errorf("transport: receive: %w", err)
+		}
+		if resp.More {
+			if resp.Rel != nil {
+				call.RowsUp += resp.Rel.Len()
+				if sinkErr == nil {
+					sinkErr = sink(resp.Rel)
+				}
+			}
+			continue
+		}
+		call.Compute = time.Duration(resp.ComputeNS)
+		call.BytesDown = int(c.conn.written - w0)
+		call.BytesUp = int(c.conn.read - r0)
+		if resp.Err != "" {
+			return call, errors.New(resp.Err)
+		}
+		return call, sinkErr
+	}
+}
+
+// EvalLocal implements Site.
+func (c *Client) EvalLocal(ctx context.Context, req engine.LocalRequest) (*relation.Relation, stats.Call, error) {
+	resp, call, err := c.roundTrip(ctx, &Request{Kind: KindLocal, Local: &req})
+	if err != nil {
+		return nil, call, err
+	}
+	return resp.Rel, call, nil
+}
+
+// DetailSchema implements Site.
+func (c *Client) DetailSchema(ctx context.Context, name string) (relation.Schema, error) {
+	resp, _, err := c.roundTrip(ctx, &Request{Kind: KindSchema, Schema: name})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Schema, nil
+}
+
+// Tables implements Site.
+func (c *Client) Tables(ctx context.Context) ([]engine.TableInfo, error) {
+	resp, _, err := c.roundTrip(ctx, &Request{Kind: KindTables})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
+
+// Load implements Loader: it ships a relation partition to the site.
+func (c *Client) Load(ctx context.Context, name string, rel *relation.Relation) error {
+	_, _, err := c.roundTrip(ctx, &Request{Kind: KindLoad, LoadName: name, LoadRel: rel})
+	return err
+}

@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"skalla/internal/engine"
+	"skalla/internal/gmdj"
+	"skalla/internal/relation"
+	"skalla/internal/stats"
+)
+
+// ReqKind discriminates request payloads.
+type ReqKind uint8
+
+const (
+	// KindHello requests the site's identity (sent once per connection).
+	KindHello ReqKind = iota
+	// KindBase evaluates the base query fragment.
+	KindBase
+	// KindOperator evaluates one MD operator.
+	KindOperator
+	// KindLocal evaluates a query prefix locally.
+	KindLocal
+	// KindSchema fetches a detail relation's schema.
+	KindSchema
+	// KindLoad installs a relation partition at the site.
+	KindLoad
+	// KindTables lists the site's relation inventory.
+	KindTables
+)
+
+// Request is the wire request envelope.
+type Request struct {
+	Kind     ReqKind
+	Base     *gmdj.BaseQuery
+	Operator *engine.OperatorRequest
+	Local    *engine.LocalRequest
+	Schema   string
+	LoadName string
+	LoadRel  *relation.Relation
+}
+
+// Response is the wire response envelope. Operator evaluations may stream:
+// each H_i block arrives in its own response with More set; the terminal
+// response (More unset) carries the site's total compute time and any error.
+type Response struct {
+	Err       string
+	Rel       *relation.Relation
+	Schema    relation.Schema
+	Tables    []engine.TableInfo
+	SiteID    int
+	ComputeNS int64
+	More      bool
+}
+
+// Backend is what a transport endpoint serves: the context-free evaluation
+// surface of a local warehouse. *engine.Site implements it directly; relay
+// nodes (core.Relay, the multi-tier coordinator architecture) implement it
+// too, so a mid-tier aggregation process is served exactly like a site.
+type Backend interface {
+	ID() int
+	EvalBase(bq gmdj.BaseQuery) (*relation.Relation, error)
+	EvalOperatorBlocks(req engine.OperatorRequest, emit func(*relation.Relation) error) error
+	EvalLocal(req engine.LocalRequest) (*relation.Relation, error)
+	DetailSchema(name string) (relation.Schema, error)
+	Load(name string, rel *relation.Relation) error
+	// Tables lists the relations the backend serves (aggregated across the
+	// subtree for relays).
+	Tables() []engine.TableInfo
+}
+
+// collectBlocks adapts EvalOperatorBlocks to a single relation.
+func collectBlocks(b Backend, req engine.OperatorRequest) (*relation.Relation, error) {
+	var h *relation.Relation
+	err := b.EvalOperatorBlocks(req, func(block *relation.Relation) error {
+		if h == nil {
+			h = block
+			return nil
+		}
+		return h.Union(block)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// dispatch executes a request against a backend, measuring compute time.
+func dispatch(site Backend, req *Request) *Response {
+	start := time.Now()
+	resp := &Response{SiteID: site.ID()}
+	var err error
+	switch req.Kind {
+	case KindHello:
+		// Identity only.
+	case KindBase:
+		if req.Base == nil {
+			err = fmt.Errorf("transport: base request without query")
+		} else {
+			resp.Rel, err = site.EvalBase(*req.Base)
+		}
+	case KindOperator:
+		if req.Operator == nil {
+			err = fmt.Errorf("transport: operator request without payload")
+		} else {
+			resp.Rel, err = collectBlocks(site, *req.Operator)
+		}
+	case KindLocal:
+		if req.Local == nil {
+			err = fmt.Errorf("transport: local request without payload")
+		} else {
+			resp.Rel, err = site.EvalLocal(*req.Local)
+		}
+	case KindSchema:
+		resp.Schema, err = site.DetailSchema(req.Schema)
+	case KindLoad:
+		err = site.Load(req.LoadName, req.LoadRel)
+	case KindTables:
+		resp.Tables = site.Tables()
+	default:
+		err = fmt.Errorf("transport: unknown request kind %d", req.Kind)
+	}
+	resp.ComputeNS = time.Since(start).Nanoseconds()
+	if err != nil {
+		resp.Err = err.Error()
+		resp.Rel = nil
+	}
+	return resp
+}
+
+// encodeSize gob-encodes v and returns the serialized bytes. Used by the
+// in-process transport to charge exactly what a networked deployment would
+// ship.
+func encodeValue(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeValue[T any](b []byte) (*T, error) {
+	var out T
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// reqRows counts the base-structure rows a request ships to the site.
+func reqRows(req *Request) int {
+	if req.Kind == KindOperator && req.Operator != nil && req.Operator.Base != nil {
+		return req.Operator.Base.Len()
+	}
+	return 0
+}
+
+// respRows counts the rows a response ships back.
+func respRows(resp *Response) int {
+	if resp.Rel != nil {
+		return resp.Rel.Len()
+	}
+	return 0
+}
+
+// callFromSizes assembles a stats.Call from measured message sizes.
+func callFromSizes(site int, req *Request, resp *Response, down, up int) stats.Call {
+	return stats.Call{
+		Site:      site,
+		BytesDown: down,
+		BytesUp:   up,
+		RowsDown:  reqRows(req),
+		RowsUp:    respRows(resp),
+		Compute:   time.Duration(resp.ComputeNS),
+	}
+}

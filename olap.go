@@ -1,0 +1,47 @@
+package skalla
+
+import (
+	"skalla/internal/egil"
+	"skalla/internal/olap"
+)
+
+// CubeQuery builds the full data cube (CUBE BY of Gray et al.) over the
+// dimension columns: one grouping set per subset of dims, with rollup rows
+// marked by NULL dimension values. The cube of a distributed warehouse costs
+// a single GMDJ round — the paper's Sect. 2.2 uniform-expressibility claim
+// realized on the distributed engine.
+func CubeQuery(detail string, dims []string, aggs ...AggSpec) (Query, error) {
+	return olap.CubeQuery(detail, dims, aggs)
+}
+
+// RollupQuery builds the ROLLUP hierarchy over dims (all prefixes, down to
+// the grand total).
+func RollupQuery(detail string, dims []string, aggs ...AggSpec) (Query, error) {
+	return olap.RollupQuery(detail, dims, aggs)
+}
+
+// GroupingSetsQuery builds an explicit GROUPING SETS query over dims.
+func GroupingSetsQuery(detail string, dims []string, sets [][]string, aggs ...AggSpec) (Query, error) {
+	return olap.GroupingSetsQuery(detail, dims, sets, aggs)
+}
+
+// Unpivot turns the named columns of each row into (Attr, Val) pairs,
+// carrying the keep columns through (the unpivot operator of Graefe et al.,
+// used for marginal-distribution extraction).
+func Unpivot(r *Relation, keep, cols []string) (*Relation, error) {
+	return olap.Unpivot(r, keep, cols)
+}
+
+// MarginalsQuery builds the COUNT-per-(Attr, Val) query over an unpivoted
+// relation loaded at the sites under unpivotName.
+func MarginalsQuery(unpivotName string) Query {
+	return olap.MarginalsQuery(unpivotName)
+}
+
+// TranslateSQL parses the SQL-style OLAP dialect of the Egil front end
+// (SELECT dims and aggregates FROM relation [WHERE ...] GROUP BY / CUBE BY /
+// ROLLUP BY dims [HAVING EACH cond]) and translates it into a complex GMDJ
+// expression; see package internal/egil for the dialect.
+func TranslateSQL(statement string) (Query, error) {
+	return egil.Translate(statement)
+}

@@ -1,0 +1,210 @@
+package skalla
+
+import (
+	"fmt"
+	"strings"
+
+	"skalla/internal/agg"
+)
+
+// ParseQueryText parses the line-oriented query description used by the
+// skalla-coordinator CLI. Format ('#' starts a comment):
+//
+//	base <relation> key <col>[, <col>...]
+//	where <condition>                      # optional detail filter
+//	op [<relation>] <condition> :: <aggs>  # one MD operator
+//	var <condition> :: <aggs>              # extra grouping variable on the last op
+//
+// where <aggs> is a comma-separated aggregate list such as
+//
+//	count(*) as cnt1, avg(ExtendedPrice) as avg1
+//
+// and <condition> uses the θ syntax of the paper (B.col / R.col references).
+// Example (the paper's Example 1):
+//
+//	base Flow key SourceAS, DestAS
+//	op B.SourceAS = R.SourceAS && B.DestAS = R.DestAS :: count(*) as cnt1, sum(NumBytes) as sum1
+//	op B.SourceAS = R.SourceAS && B.DestAS = R.DestAS && R.NumBytes >= B.sum1 / B.cnt1 :: count(*) as cnt2
+func ParseQueryText(text string) (Query, error) {
+	var b *QueryBuilder
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		word, rest := splitWord(line)
+		switch strings.ToLower(word) {
+		case "base":
+			if b != nil {
+				return Query{}, fmt.Errorf("skalla: line %d: duplicate base clause", ln+1)
+			}
+			rel, keys, err := parseBaseClause(rest)
+			if err != nil {
+				return Query{}, fmt.Errorf("skalla: line %d: %w", ln+1, err)
+			}
+			b = NewQuery(rel, keys...)
+		case "where":
+			if b == nil {
+				return Query{}, fmt.Errorf("skalla: line %d: where before base", ln+1)
+			}
+			b = b.Where(rest)
+		case "op":
+			if b == nil {
+				return Query{}, fmt.Errorf("skalla: line %d: op before base", ln+1)
+			}
+			rel, cond, aggs, err := parseOpClause(rest)
+			if err != nil {
+				return Query{}, fmt.Errorf("skalla: line %d: %w", ln+1, err)
+			}
+			if rel == "" {
+				b = b.Op(cond, aggs...)
+			} else {
+				b = b.OpOn(rel, cond, aggs...)
+			}
+		case "var":
+			if b == nil {
+				return Query{}, fmt.Errorf("skalla: line %d: var before base", ln+1)
+			}
+			cond, aggsText, ok := splitCondAggs(rest)
+			if !ok {
+				return Query{}, fmt.Errorf("skalla: line %d: var needs '<condition> :: <aggs>'", ln+1)
+			}
+			aggs, err := ParseAggList(aggsText)
+			if err != nil {
+				return Query{}, fmt.Errorf("skalla: line %d: %w", ln+1, err)
+			}
+			b = b.Var(cond, aggs...)
+		default:
+			return Query{}, fmt.Errorf("skalla: line %d: unknown clause %q", ln+1, word)
+		}
+	}
+	if b == nil {
+		return Query{}, fmt.Errorf("skalla: query text has no base clause")
+	}
+	return b.Build()
+}
+
+func splitWord(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
+func parseBaseClause(rest string) (string, []string, error) {
+	rel, tail := splitWord(rest)
+	if rel == "" {
+		return "", nil, fmt.Errorf("base clause needs a relation name")
+	}
+	kw, cols := splitWord(tail)
+	if !strings.EqualFold(kw, "key") || cols == "" {
+		return "", nil, fmt.Errorf("base clause needs 'key <col>[, <col>...]'")
+	}
+	var keys []string
+	for _, c := range strings.Split(cols, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			return "", nil, fmt.Errorf("empty key column")
+		}
+		keys = append(keys, c)
+	}
+	return rel, keys, nil
+}
+
+// parseOpClause parses "[relation] <cond> :: <aggs>". The relation is
+// present when the first token contains no B./R. reference and is followed
+// by more text before '::'.
+func parseOpClause(rest string) (rel, cond string, aggs []AggSpec, err error) {
+	condPart, aggsText, ok := splitCondAggs(rest)
+	if !ok {
+		return "", "", nil, fmt.Errorf("op needs '<condition> :: <aggs>'")
+	}
+	// Optional leading relation name: a bare identifier token that is not
+	// part of the condition grammar (conditions start with B./R./literals/
+	// operators/parens).
+	first, tail := splitWord(condPart)
+	if tail != "" && isBareIdent(first) {
+		rel, condPart = first, tail
+	}
+	specs, err := ParseAggList(aggsText)
+	if err != nil {
+		return "", "", nil, err
+	}
+	return rel, condPart, specs, nil
+}
+
+func splitCondAggs(s string) (cond, aggs string, ok bool) {
+	i := strings.Index(s, "::")
+	if i < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+2:]), true
+}
+
+func isBareIdent(s string) bool {
+	if s == "" || strings.ContainsAny(s, ".()=<>!&|+-*/%'\"") {
+		return false
+	}
+	lower := strings.ToLower(s)
+	return lower != "true" && lower != "false" && lower != "null" && lower != "not"
+}
+
+// ParseAggList parses a comma-separated aggregate list:
+//
+//	count(*) as c, sum(NumBytes) as s, avg(Price) as a, min(X) as mn, max(X) as mx
+//
+// Function names and the AS keyword are case-insensitive; argument column
+// names are case-sensitive.
+func ParseAggList(s string) ([]AggSpec, error) {
+	var out []AggSpec
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, fmt.Errorf("empty aggregate in list %q", s)
+		}
+		spec, err := parseAggItem(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+var aggFuncs = map[string]agg.Func{
+	"count": agg.Count, "sum": agg.Sum, "avg": agg.Avg, "min": agg.Min, "max": agg.Max,
+	"variance": agg.Variance, "stdev": agg.StdDev,
+}
+
+func parseAggItem(item string) (AggSpec, error) {
+	open := strings.Index(item, "(")
+	closing := strings.Index(item, ")")
+	if open < 0 || closing < open {
+		return AggSpec{}, fmt.Errorf("aggregate %q: want func(arg) as name", item)
+	}
+	fn, ok := aggFuncs[strings.ToLower(strings.TrimSpace(item[:open]))]
+	if !ok {
+		return AggSpec{}, fmt.Errorf("aggregate %q: unknown function %q", item, item[:open])
+	}
+	arg := strings.TrimSpace(item[open+1 : closing])
+	if arg == "*" {
+		if fn != agg.Count {
+			return AggSpec{}, fmt.Errorf("aggregate %q: only COUNT accepts *", item)
+		}
+		arg = ""
+	} else if arg == "" {
+		return AggSpec{}, fmt.Errorf("aggregate %q: missing argument", item)
+	}
+	tail := strings.TrimSpace(item[closing+1:])
+	kw, name := splitWord(tail)
+	if !strings.EqualFold(kw, "as") || name == "" || strings.ContainsAny(name, " \t") {
+		return AggSpec{}, fmt.Errorf("aggregate %q: want 'as <name>'", item)
+	}
+	return AggSpec{Func: fn, Arg: arg, As: name}, nil
+}

@@ -1,0 +1,476 @@
+// Package skalla is a distributed OLAP query processor: a from-scratch
+// reproduction of the Skalla system of Akinde, Böhlen, Johnson, Lakshmanan
+// and Srivastava, "Efficient OLAP Query Processing in Distributed Data
+// Warehouses" (EDBT 2002).
+//
+// A Skalla deployment is a set of local warehouse sites — each holding one
+// horizontal partition of the fact relation(s) — plus a coordinator. OLAP
+// queries are expressed as complex GMDJ expressions (a base-values query
+// followed by a chain of MD operators); the coordinator evaluates them in
+// rounds, shipping only partial aggregate results, never detail data, and
+// applies the paper's optimizations: coalescing, distribution-independent
+// and distribution-aware group reduction, and synchronization reduction.
+//
+// Quick start (in-process cluster):
+//
+//	cluster, _ := skalla.NewLocalCluster(4)
+//	defer cluster.Close()
+//	for i, part := range partitions {
+//	    cluster.Load(i, "Flow", part)
+//	}
+//	q, _ := skalla.NewQuery("Flow", "SourceAS", "DestAS").
+//	    Op("B.SourceAS = R.SourceAS && B.DestAS = R.DestAS",
+//	        skalla.Count("cnt1"), skalla.Sum("NumBytes", "sum1")).
+//	    Op("B.SourceAS = R.SourceAS && B.DestAS = R.DestAS && R.NumBytes >= B.sum1 / B.cnt1",
+//	        skalla.Count("cnt2")).
+//	    Build()
+//	res, _ := cluster.Execute(context.Background(), q, skalla.AllOptimizations())
+//	fmt.Println(res.Rel)
+//	fmt.Println(res.Metrics)
+package skalla
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"skalla/internal/agg"
+	"skalla/internal/core"
+	"skalla/internal/distrib"
+	"skalla/internal/engine"
+	"skalla/internal/expr"
+	"skalla/internal/gmdj"
+	"skalla/internal/plan"
+	"skalla/internal/relation"
+	"skalla/internal/stats"
+	"skalla/internal/transport"
+)
+
+// Re-exported data-model types. Relations are the unit of data loaded into
+// sites and returned from queries.
+type (
+	// Value is a dynamically typed scalar (NULL, INT, FLOAT, STRING, BOOL).
+	Value = relation.Value
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Column is a named, typed attribute.
+	Column = relation.Column
+	// Schema is an ordered set of columns.
+	Schema = relation.Schema
+	// Relation is an in-memory multiset of tuples.
+	Relation = relation.Relation
+
+	// Query is a complex GMDJ expression.
+	Query = gmdj.Query
+	// AggSpec is one aggregate in an operator's list.
+	AggSpec = agg.Spec
+	// Options are the optimization switches of the paper's Sect. 4.
+	Options = plan.Options
+	// Result bundles the result relation, cost metrics, and the plan.
+	Result = core.Result
+	// Metrics is the per-round cost breakdown of an execution.
+	Metrics = stats.Metrics
+	// NetModel converts measured traffic into modeled communication time.
+	NetModel = stats.NetModel
+	// Catalog carries distribution knowledge for the optimizer.
+	Catalog = distrib.Catalog
+	// Distribution is per-relation distribution knowledge.
+	Distribution = distrib.Distribution
+)
+
+// Value constructors.
+var (
+	// NewInt builds an INT value.
+	NewInt = relation.NewInt
+	// NewFloat builds a FLOAT value.
+	NewFloat = relation.NewFloat
+	// NewString builds a STRING value.
+	NewString = relation.NewString
+	// NewBool builds a BOOL value.
+	NewBool = relation.NewBool
+	// NewRelation builds an empty relation with the given schema.
+	NewRelation = relation.New
+	// NewSchema builds and validates a schema.
+	NewSchema = relation.NewSchema
+	// NewCatalog bundles distributions into a catalog.
+	NewCatalog = distrib.NewCatalog
+)
+
+// Aggregate constructors for the query builder.
+
+// Count is COUNT(*) named as.
+func Count(as string) AggSpec { return AggSpec{Func: agg.Count, As: as} }
+
+// CountCol is COUNT(col) (non-NULL count) named as.
+func CountCol(col, as string) AggSpec { return AggSpec{Func: agg.Count, Arg: col, As: as} }
+
+// Sum is SUM(col) named as.
+func Sum(col, as string) AggSpec { return AggSpec{Func: agg.Sum, Arg: col, As: as} }
+
+// Avg is AVG(col) named as. It is decomposed into SUM and COUNT
+// sub-aggregates for distributed evaluation; the result relation carries the
+// finalized average (plus as_sum and as_cnt physical columns mid-query).
+func Avg(col, as string) AggSpec { return AggSpec{Func: agg.Avg, Arg: col, As: as} }
+
+// Min is MIN(col) named as.
+func Min(col, as string) AggSpec { return AggSpec{Func: agg.Min, Arg: col, As: as} }
+
+// Max is MAX(col) named as.
+func Max(col, as string) AggSpec { return AggSpec{Func: agg.Max, Arg: col, As: as} }
+
+// Variance is the population variance of col named as, decomposed into
+// SUM + sum-of-squares + COUNT sub-aggregates for distributed evaluation.
+func Variance(col, as string) AggSpec { return AggSpec{Func: agg.Variance, Arg: col, As: as} }
+
+// StdDev is the population standard deviation of col named as.
+func StdDev(col, as string) AggSpec { return AggSpec{Func: agg.StdDev, Arg: col, As: as} }
+
+// NoOptimizations disables every Sect. 4 optimization (the baseline
+// Alg. GMDJDistribEval).
+func NoOptimizations() Options { return plan.None() }
+
+// AllOptimizations enables coalescing, both group reductions, and
+// synchronization reduction.
+func AllOptimizations() Options { return plan.All() }
+
+// QueryBuilder assembles a complex GMDJ expression. Conditions use the text
+// syntax of the paper's θ conditions: "B.col" references the base-values
+// relation (including aggregates computed by earlier operators), "R.col" the
+// detail relation; operators are = != < <= > >= + - * / % && || ! with
+// AND/OR/NOT keywords accepted.
+type QueryBuilder struct {
+	q   gmdj.Query
+	err error
+}
+
+// NewQuery starts a query: the base-values relation is the distinct
+// projection of keyCols over the named detail relation.
+func NewQuery(detail string, keyCols ...string) *QueryBuilder {
+	return &QueryBuilder{q: gmdj.Query{Base: gmdj.BaseQuery{Detail: detail, Cols: keyCols}}}
+}
+
+// Where filters the detail rows feeding the base-values projection; the
+// condition may reference only R columns.
+func (b *QueryBuilder) Where(cond string) *QueryBuilder {
+	if b.err != nil {
+		return b
+	}
+	e, err := expr.Parse(cond)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.q.Base.Where = e
+	return b
+}
+
+// Op appends an MD operator over the base detail relation with a single
+// grouping variable: the given condition and aggregate list.
+func (b *QueryBuilder) Op(cond string, aggs ...AggSpec) *QueryBuilder {
+	return b.OpOn(b.q.Base.Detail, cond, aggs...)
+}
+
+// OpOn is Op against a different detail relation (the paper's R_k may vary
+// per round).
+func (b *QueryBuilder) OpOn(detail, cond string, aggs ...AggSpec) *QueryBuilder {
+	if b.err != nil {
+		return b
+	}
+	e, err := expr.Parse(cond)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.q.Ops = append(b.q.Ops, gmdj.Operator{Detail: detail, Vars: []gmdj.GroupVar{{Aggs: aggs, Cond: e}}})
+	return b
+}
+
+// Var adds an additional grouping variable to the most recent operator
+// (hand-coalescing per Sect. 4.3).
+func (b *QueryBuilder) Var(cond string, aggs ...AggSpec) *QueryBuilder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.q.Ops) == 0 {
+		b.err = errors.New("skalla: Var before any Op")
+		return b
+	}
+	e, err := expr.Parse(cond)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	last := &b.q.Ops[len(b.q.Ops)-1]
+	last.Vars = append(last.Vars, gmdj.GroupVar{Aggs: aggs, Cond: e})
+	return b
+}
+
+// Build returns the assembled query. Structural validation against the
+// sites' schemas happens at planning time.
+func (b *QueryBuilder) Build() (Query, error) {
+	if b.err != nil {
+		return Query{}, b.err
+	}
+	if len(b.q.Base.Cols) == 0 {
+		return Query{}, errors.New("skalla: query needs at least one key column")
+	}
+	return b.q, nil
+}
+
+// MustBuild is Build but panics on error; for statically known queries.
+func (b *QueryBuilder) MustBuild() Query {
+	q, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Cluster is a Skalla deployment handle: the coordinator plus its sites.
+type Cluster struct {
+	coord   *core.Coordinator
+	sites   []transport.Site
+	loaders []transport.Loader
+	closers []interface{ Close() error }
+}
+
+// ClusterOption configures cluster construction.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	catalog    *distrib.Catalog
+	net        stats.NetModel
+	serialized bool
+	blockRows  int
+	traceTo    io.Writer
+}
+
+// WithCatalog attaches distribution knowledge, enabling the
+// distribution-aware optimizations (Thm. 4, Cor. 1).
+func WithCatalog(cat *Catalog) ClusterOption {
+	return func(c *clusterConfig) { c.catalog = cat }
+}
+
+// WithNetModel attaches a deterministic network cost model used for the
+// communication component of the reported response time.
+func WithNetModel(m NetModel) ClusterOption {
+	return func(c *clusterConfig) { c.net = m }
+}
+
+// WithSerializedTransport makes in-process sites push every message through
+// gob serialization, so byte metrics match a networked deployment. Off by
+// default for NewLocalCluster (use it when measuring traffic).
+func WithSerializedTransport() ClusterOption {
+	return func(c *clusterConfig) { c.serialized = true }
+}
+
+// WithRowBlocking makes sites return sub-aggregate relations in blocks of at
+// most rows rows, which the coordinator synchronizes as they arrive
+// (Sect. 3.2 row blocking). Zero disables blocking.
+func WithRowBlocking(rows int) ClusterOption {
+	return func(c *clusterConfig) { c.blockRows = rows }
+}
+
+// WithTrace streams execution progress — round starts, per-site exchanges,
+// round completions — to the writer while queries run.
+func WithTrace(w io.Writer) ClusterOption {
+	return func(c *clusterConfig) { c.traceTo = w }
+}
+
+// NewLocalCluster creates an in-process cluster of n empty sites. Load data
+// with Load or LoadPartitions.
+func NewLocalCluster(n int, opts ...ClusterOption) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("skalla: cluster size %d", n)
+	}
+	cfg := applyOptions(opts)
+	sites := make([]transport.Site, n)
+	loaders := make([]transport.Loader, n)
+	for i := 0; i < n; i++ {
+		es := engine.NewSite(i)
+		if cfg.serialized {
+			ls := transport.NewLocalSite(es)
+			sites[i], loaders[i] = ls, ls
+		} else {
+			fs := transport.NewFastLocalSite(es)
+			sites[i], loaders[i] = fs, fs
+		}
+	}
+	coord, err := core.New(sites, cfg.catalog, cfg.net)
+	if err != nil {
+		return nil, err
+	}
+	coord.SetRowBlocking(cfg.blockRows)
+	if cfg.traceTo != nil {
+		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
+	}
+	return &Cluster{coord: coord, sites: sites, loaders: loaders}, nil
+}
+
+// Connect dials remote Skalla site servers (started with skalla-site or
+// transport.Serve) and returns a cluster over them.
+func Connect(addrs []string, opts ...ClusterOption) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("skalla: no site addresses")
+	}
+	cfg := applyOptions(opts)
+	cl := &Cluster{}
+	for _, a := range addrs {
+		c, err := transport.Dial(a)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("skalla: connect %s: %w", a, err)
+		}
+		cl.sites = append(cl.sites, c)
+		cl.loaders = append(cl.loaders, c)
+		cl.closers = append(cl.closers, c)
+	}
+	coord, err := core.New(cl.sites, cfg.catalog, cfg.net)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	coord.SetRowBlocking(cfg.blockRows)
+	if cfg.traceTo != nil {
+		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
+	}
+	cl.coord = coord
+	return cl, nil
+}
+
+func applyOptions(opts []ClusterOption) *clusterConfig {
+	cfg := &clusterConfig{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	return cfg
+}
+
+// NumSites returns the number of sites in the cluster.
+func (c *Cluster) NumSites() int { return len(c.sites) }
+
+// Load installs a relation partition at one site.
+func (c *Cluster) Load(site int, name string, rel *Relation) error {
+	if site < 0 || site >= len(c.loaders) {
+		return fmt.Errorf("skalla: site %d of %d", site, len(c.loaders))
+	}
+	return c.loaders[site].Load(context.Background(), name, rel)
+}
+
+// LoadPartitions installs parts[i] at site i; len(parts) must match the
+// cluster size.
+func (c *Cluster) LoadPartitions(name string, parts []*Relation) error {
+	if len(parts) != len(c.loaders) {
+		return fmt.Errorf("skalla: %d partitions for %d sites", len(parts), len(c.loaders))
+	}
+	for i, p := range parts {
+		if err := c.Load(i, name, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Execute evaluates a query under the given optimization switches.
+func (c *Cluster) Execute(ctx context.Context, q Query, opts Options) (*Result, error) {
+	return c.coord.Execute(ctx, q, opts)
+}
+
+// TableInfo describes one relation at one site.
+type TableInfo = engine.TableInfo
+
+// Tables returns the per-site relation inventory: element i lists the
+// relations (with row counts) that site i serves.
+func (c *Cluster) Tables(ctx context.Context) ([][]TableInfo, error) {
+	out := make([][]TableInfo, len(c.sites))
+	for i, s := range c.sites {
+		infos, err := s.Tables(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = infos
+	}
+	return out, nil
+}
+
+// Explain returns the compiled distributed plan description without
+// executing the query.
+func (c *Cluster) Explain(ctx context.Context, q Query, opts Options) (string, error) {
+	pl, err := c.coord.Plan(ctx, q, opts)
+	if err != nil {
+		return "", err
+	}
+	return pl.Describe(), nil
+}
+
+// Close releases any network connections held by the cluster.
+func (c *Cluster) Close() error {
+	var first error
+	for _, cl := range c.closers {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.closers = nil
+	return first
+}
+
+// NewTieredLocalCluster creates an in-process two-tier deployment: leaves
+// leaf sites split as evenly as possible behind relays relay nodes — the
+// multi-tiered coordinator architecture the paper lists as future work
+// (Sect. 6). Relays pre-merge their subtree's sub-aggregates (Theorem 1 is
+// associative), cutting the root coordinator's fan-in from leaves to relays.
+// Load and LoadPartitions address the leaf sites; queries run against the
+// relay tier.
+func NewTieredLocalCluster(leaves, relays int, opts ...ClusterOption) (*Cluster, error) {
+	if leaves <= 0 || relays <= 0 || relays > leaves {
+		return nil, fmt.Errorf("skalla: tiered cluster with %d leaves behind %d relays", leaves, relays)
+	}
+	cfg := applyOptions(opts)
+	leafSites := make([]transport.Site, leaves)
+	loaders := make([]transport.Loader, leaves)
+	for i := 0; i < leaves; i++ {
+		es := engine.NewSite(i)
+		if cfg.serialized {
+			ls := transport.NewLocalSite(es)
+			leafSites[i], loaders[i] = ls, ls
+		} else {
+			fs := transport.NewFastLocalSite(es)
+			leafSites[i], loaders[i] = fs, fs
+		}
+	}
+	tier := make([]transport.Site, relays)
+	per := leaves / relays
+	extra := leaves % relays
+	start := 0
+	for i := 0; i < relays; i++ {
+		n := per
+		if i < extra {
+			n++
+		}
+		relay, err := core.NewRelay(i, leafSites[start:start+n])
+		if err != nil {
+			return nil, err
+		}
+		start += n
+		if cfg.serialized {
+			tier[i] = transport.NewLocalSite(relay)
+		} else {
+			tier[i] = transport.NewFastLocalSite(relay)
+		}
+	}
+	coord, err := core.New(tier, cfg.catalog, cfg.net)
+	if err != nil {
+		return nil, err
+	}
+	coord.SetRowBlocking(cfg.blockRows)
+	if cfg.traceTo != nil {
+		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
+	}
+	return &Cluster{coord: coord, sites: tier, loaders: loaders}, nil
+}
+
+// NumLeafSites returns the number of data-holding sites (equal to NumSites
+// except in tiered clusters, where NumSites counts the relay tier).
+func (c *Cluster) NumLeafSites() int { return len(c.loaders) }
