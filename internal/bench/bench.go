@@ -105,20 +105,33 @@ const LowCardAttr = "Clerk"
 
 // Row is one measured point of an experiment series.
 type Row struct {
-	Series    string
-	X         int // participating sites (speed-up) or scale factor (scale-up)
-	Time      time.Duration
-	Bytes     int
-	BytesDown int
-	BytesUp   int
-	Rows      int
-	RowsDown  int
-	RowsUp    int
-	Groups    int
-	Rounds    int
-	SiteTime  time.Duration
-	CoordTime time.Duration
-	CommTime  time.Duration
+	Series      string
+	X           int // participating sites (speed-up) or scale factor (scale-up)
+	Time        time.Duration
+	Bytes       int
+	BytesDown   int
+	BytesUp     int
+	Rows        int
+	RowsDown    int
+	RowsUp      int
+	Groups      int
+	Rounds      int
+	SiteTime    time.Duration
+	CoordTime   time.Duration
+	CommTime    time.Duration
+	RoundDetail []RoundRow
+}
+
+// RoundRow is the per-synchronization-round traffic breakdown of a Row. It
+// flows into skalla-bench's -json export, so wire-efficiency regressions show
+// up per round rather than hiding in the query totals.
+type RoundRow struct {
+	Name          string
+	BytesDown     int
+	BytesUp       int
+	RowsDown      int
+	RowsUp        int
+	BytesPerGroup float64 // upward bytes per final result group; 0 when no groups
 }
 
 // measure runs one query under the given options and folds the metrics into
@@ -129,26 +142,41 @@ func measure(c *Cluster, q gmdj.Query, opts plan.Options, series string, x int) 
 		return Row{}, err
 	}
 	m := res.Metrics
+	groups := res.Rel.Len()
 	rowsDown, rowsUp := 0, 0
+	detail := make([]RoundRow, 0, len(m.Rounds))
 	for i := range m.Rounds {
-		rowsDown += m.Rounds[i].RowsDown()
-		rowsUp += m.Rounds[i].RowsUp()
+		r := &m.Rounds[i]
+		rowsDown += r.RowsDown()
+		rowsUp += r.RowsUp()
+		rr := RoundRow{
+			Name:      r.Name,
+			BytesDown: r.BytesDown(),
+			BytesUp:   r.BytesUp(),
+			RowsDown:  r.RowsDown(),
+			RowsUp:    r.RowsUp(),
+		}
+		if groups > 0 {
+			rr.BytesPerGroup = float64(rr.BytesUp) / float64(groups)
+		}
+		detail = append(detail, rr)
 	}
 	return Row{
-		Series:    series,
-		X:         x,
-		Time:      m.ResponseTime(),
-		Bytes:     m.TotalBytes(),
-		BytesDown: m.TotalBytesDown(),
-		BytesUp:   m.TotalBytesUp(),
-		Rows:      m.TotalRows(),
-		RowsDown:  rowsDown,
-		RowsUp:    rowsUp,
-		Groups:    res.Rel.Len(),
-		Rounds:    m.NumRounds(),
-		SiteTime:  m.SiteTime(),
-		CoordTime: m.CoordTime(),
-		CommTime:  m.CommTime(),
+		Series:      series,
+		X:           x,
+		Time:        m.ResponseTime(),
+		Bytes:       m.TotalBytes(),
+		BytesDown:   m.TotalBytesDown(),
+		BytesUp:     m.TotalBytesUp(),
+		Rows:        m.TotalRows(),
+		RowsDown:    rowsDown,
+		RowsUp:      rowsUp,
+		Groups:      groups,
+		Rounds:      m.NumRounds(),
+		SiteTime:    m.SiteTime(),
+		CoordTime:   m.CoordTime(),
+		CommTime:    m.CommTime(),
+		RoundDetail: detail,
 	}, nil
 }
 

@@ -42,10 +42,16 @@ func TestRowBlockingPreservesResults(t *testing.T) {
 func TestRowBlockingTrafficAccounting(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	global := randomGlobal(rng, 300, 12)
-	sites, cat := buildCluster(t, global, "T", 3, 4, false)
 	run := func(blockRows int) *stats.Metrics {
+		// Fresh cluster per run, plus one warm-up execution: the transport
+		// charges one-time connection costs (gob type descriptors) on the
+		// first messages, and this test compares steady-state traffic.
+		sites, cat := buildCluster(t, global, "T", 3, 4, false)
 		coord, _ := New(sites, cat, stats.NetModel{})
 		coord.SetRowBlocking(blockRows)
+		if _, err := coord.Execute(context.Background(), chainQuery(), plan.None()); err != nil {
+			t.Fatal(err)
+		}
 		res, err := coord.Execute(context.Background(), chainQuery(), plan.None())
 		if err != nil {
 			t.Fatal(err)

@@ -153,8 +153,12 @@ type siteResult struct {
 }
 
 // broadcast runs f against every site in parallel and gathers the results in
-// site order. The first error is returned after all calls complete.
-func (c *Coordinator) broadcast(f func(i int, s transport.Site) (*relation.Relation, stats.Call, error)) ([]siteResult, error) {
+// site order. Cancellation wins: a cancelled context is reported as ctx.Err()
+// once all calls have returned, ahead of any per-site error.
+func (c *Coordinator) broadcast(ctx context.Context, f func(i int, s transport.Site) (*relation.Relation, stats.Call, error)) ([]siteResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	results := make([]siteResult, len(c.sites))
 	var wg sync.WaitGroup
 	for i, s := range c.sites {
@@ -166,6 +170,9 @@ func (c *Coordinator) broadcast(f func(i int, s transport.Site) (*relation.Relat
 		}(i, s)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err
@@ -179,7 +186,7 @@ func (c *Coordinator) broadcast(f func(i int, s transport.Site) (*relation.Relat
 // into X_0.
 func (c *Coordinator) baseRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics) error {
 	c.traceRoundStart("base", 0)
-	results, err := c.broadcast(func(_ int, s transport.Site) (*relation.Relation, stats.Call, error) {
+	results, err := c.broadcast(ctx, func(_ int, s transport.Site) (*relation.Relation, stats.Call, error) {
 		return s.EvalBase(ctx, pl.Query.Base)
 	})
 	if err != nil {
@@ -210,7 +217,7 @@ func (c *Coordinator) baseRound(ctx context.Context, pl *plan.Plan, mg *merger, 
 func (c *Coordinator) localRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, upTo int, name string) error {
 	c.traceRoundStart(name, 0)
 	req := engine.LocalRequest{Query: pl.Query, UpTo: upTo}
-	results, err := c.broadcast(func(_ int, s transport.Site) (*relation.Relation, stats.Call, error) {
+	results, err := c.broadcast(ctx, func(_ int, s transport.Site) (*relation.Relation, stats.Call, error) {
 		return s.EvalLocal(ctx, req)
 	})
 	if err != nil {
@@ -252,28 +259,9 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 	// extended and mutated by the streaming merge.
 	snap := mg.Snapshot()
 
-	fragments := make([]*relation.Relation, len(c.sites))
 	var reducers []distrib.ReductionPred
 	if pl.Reducers != nil && k < len(pl.Reducers) {
 		reducers = pl.Reducers[k]
-	}
-	for i := range c.sites {
-		if reducers == nil {
-			fragments[i] = snap
-			continue
-		}
-		pred := reducers[i]
-		frag := relation.New(snap.Schema)
-		for _, row := range snap.Tuples {
-			keep, err := pred(row)
-			if err != nil {
-				return err
-			}
-			if keep {
-				frag.Tuples = append(frag.Tuples, row)
-			}
-		}
-		fragments[i] = frag
 	}
 
 	// Extend X with the operator's identity columns before any block lands.
@@ -292,15 +280,40 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 		wg.Add(1)
 		go func(i int, s transport.Site) {
 			defer wg.Done()
+			// Thm. 4 fragment reduction runs here, in each site's own
+			// goroutine, so the O(sites × |X|) predicate evaluation
+			// parallelizes instead of serializing the round's start.
+			frag := snap
+			if reducers != nil {
+				pred := reducers[i]
+				f := relation.New(snap.Schema)
+				for _, row := range snap.Tuples {
+					keep, err := pred(row)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if keep {
+						f.Tuples = append(f.Tuples, row)
+					}
+				}
+				frag = f
+			}
 			call, err := s.EvalOperatorStream(ctx, engine.OperatorRequest{
-				Base:      fragments[i],
+				Base:      frag,
 				Op:        op,
 				Keys:      pl.Keys(),
 				Guard:     pl.Opts.GroupReduceSite,
 				BlockRows: c.blockRows,
 			}, func(block *relation.Relation) error {
-				blocks <- block
-				return nil
+				// A cancelled query must not wedge the site goroutines on a
+				// full channel: fail the stream instead of waiting forever.
+				select {
+				case blocks <- block:
+					return nil
+				case <-ctx.Done():
+					return ctx.Err()
+				}
 			})
 			calls[i], errs[i] = call, err
 		}(i, s)
@@ -312,12 +325,19 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 
 	var mergeErr error
 	for b := range blocks {
-		if mergeErr != nil {
-			continue // drain so senders never block
+		if mergeErr != nil || ctx.Err() != nil {
+			relation.Recycle(b)
+			continue // drain so senders never block; cancelled streams end fast
 		}
 		t0 := time.Now()
 		mergeErr = mg.MergeH(b, k)
 		coordTime += time.Since(t0)
+		// The block's rows are fully folded into X; hand its storage back to
+		// the transport's decode pool.
+		relation.Recycle(b)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	for _, err := range errs {
 		if err != nil {

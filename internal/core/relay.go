@@ -212,7 +212,7 @@ func mergeSubAggregates(numKeys int, layouts []*agg.Layout, parts []*relation.Re
 	for i := range keyCols {
 		keyCols[i] = i
 	}
-	index := make(map[string]int)
+	index := relation.BuildKeyIndexCols(out, keyCols)
 	for _, p := range parts {
 		if !p.Schema.Equal(out.Schema) {
 			return nil, fmt.Errorf("core: relay: child H schema %s, want %s", p.Schema, out.Schema)
@@ -221,14 +221,14 @@ func mergeSubAggregates(numKeys int, layouts []*agg.Layout, parts []*relation.Re
 			if len(row) != numKeys+physWidth {
 				return nil, fmt.Errorf("core: relay: H row arity %d, want %d", len(row), numKeys+physWidth)
 			}
-			key := row.Key(keyCols)
-			oi, ok := index[key]
-			if !ok {
-				out.Tuples = append(out.Tuples, row.Clone())
-				index[key] = len(out.Tuples) - 1
+			rows := index.Lookup(row, keyCols)
+			if len(rows) == 0 {
+				nrow := row.Clone()
+				out.Tuples = append(out.Tuples, nrow)
+				index.Add(nrow, len(out.Tuples)-1)
 				continue
 			}
-			target := out.Tuples[oi]
+			target := out.Tuples[rows[0]]
 			cursor := numKeys
 			for _, l := range layouts {
 				n := len(l.Phys)

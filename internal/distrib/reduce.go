@@ -187,6 +187,16 @@ func CanSkipBaseSync(q gmdj.Query) bool {
 	if len(q.Ops) == 0 {
 		return false
 	}
+	// A base selection breaks the entailment: a detail row at one site can
+	// match a group (θ_j holds on the keys) whose selection-passing witnesses
+	// all live at other sites, so the group is absent from this site's local
+	// base and the row's contribution is silently lost. Unlike the Thm. 5
+	// local-prefix reduction — where partition alignment co-locates a group's
+	// witnesses with every row that can match it — Prop. 2 makes no placement
+	// assumption, so only unfiltered bases fold soundly.
+	if q.Base.Where != nil {
+		return false
+	}
 	op := q.Ops[0]
 	if op.Detail != q.Base.Detail {
 		return false

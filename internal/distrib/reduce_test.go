@@ -217,6 +217,13 @@ func TestCanSkipBaseSync(t *testing.T) {
 	if CanSkipBaseSync(gmdj.Query{Base: gmdj.BaseQuery{Detail: "Flow", Cols: []string{"SourceAS"}}}) {
 		t.Error("no ops must prevent skip")
 	}
+	// Filtered base: no skip — a group's filter-passing witnesses may all
+	// live at other sites, so local bases can miss groups that rows match.
+	q = queryWithConds("B.SourceAS = R.SourceAS && B.DestAS = R.DestAS")
+	q.Base.Where = expr.MustParse("R.NB > 10")
+	if CanSkipBaseSync(q) {
+		t.Error("base WHERE must prevent skip")
+	}
 }
 
 func TestFullLocal(t *testing.T) {

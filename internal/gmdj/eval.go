@@ -177,7 +177,8 @@ func EvalBase(bq BaseQuery, detail RowSource) (*relation.Relation, error) {
 		masks[si] = mask
 	}
 
-	seen := make(map[string]struct{})
+	seen := relation.NewKeySet(64)
+	scratch := make(relation.Tuple, len(idx))
 	err = detail.Scan(func(t relation.Tuple) error {
 		if where != nil {
 			ok, err := expr.EvalCond(where, nil, t)
@@ -189,20 +190,19 @@ func EvalBase(bq BaseQuery, detail RowSource) (*relation.Relation, error) {
 			}
 		}
 		for _, mask := range masks {
-			padded := make(relation.Tuple, len(idx))
 			for i, j := range idx {
 				if mask[i] {
-					padded[i] = t[j]
+					scratch[i] = t[j]
 				} else {
-					padded[i] = relation.Null
+					scratch[i] = relation.Null
 				}
 			}
-			key := padded.Key(allCols)
-			if _, dup := seen[key]; dup {
-				continue
+			// Add interns the projection only for fresh keys; duplicates cost
+			// one hash probe and no allocation.
+			interned, fresh := seen.Add(scratch, allCols)
+			if fresh {
+				out.Tuples = append(out.Tuples, interned)
 			}
-			seen[key] = struct{}{}
-			out.Tuples = append(out.Tuples, padded)
 		}
 		return nil
 	})

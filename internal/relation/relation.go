@@ -19,7 +19,9 @@ func (t Tuple) Clone() Tuple {
 }
 
 // Key returns the canonical grouping key of the tuple restricted to the
-// given column positions.
+// given column positions. The hashed key layer (KeyHash/KeyIndex/KeySet) is
+// the allocation-free replacement on hot paths; Key remains for debugging and
+// as the reference encoding the hashed layer must agree with.
 func (t Tuple) Key(idx []int) string {
 	buf := make([]byte, 0, 16*len(idx))
 	for _, i := range idx {
@@ -28,10 +30,40 @@ func (t Tuple) Key(idx []int) string {
 	return string(buf)
 }
 
+// KeyHash returns the 64-bit FNV-1a hash of the tuple's canonical grouping
+// key over the given column positions, without materializing the key bytes.
+// Two tuples with equal Key strings always have equal KeyHash values.
+func (t Tuple) KeyHash(idx []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, i := range idx {
+		h = t[i].hashKeyInto(h)
+	}
+	return h
+}
+
+// keyColsEqual reports whether a restricted to aIdx and b restricted to bIdx
+// encode the same grouping key (identity semantics, matching Tuple.Key
+// equality).
+func keyColsEqual(a Tuple, aIdx []int, b Tuple, bIdx []int) bool {
+	if len(aIdx) != len(bIdx) {
+		return false
+	}
+	for i := range aIdx {
+		if !a[aIdx[i]].keyEqual(b[bIdx[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Relation is an in-memory row-oriented relation (multiset of tuples).
 type Relation struct {
 	Schema Schema
 	Tuples []Tuple
+
+	// pooled links a decoded wire block back to its BlockPool storage so
+	// Recycle can return it; nil for ordinary relations.
+	pooled *blockStorage
 }
 
 // New returns an empty relation with the given schema.
@@ -94,18 +126,11 @@ func (r *Relation) DistinctProject(names []string) (*Relation, error) {
 		return nil, err
 	}
 	out := New(r.Schema.Project(idx))
-	seen := make(map[string]struct{})
+	seen := NewKeySet(len(r.Tuples))
 	for _, t := range r.Tuples {
-		key := t.Key(idx)
-		if _, ok := seen[key]; ok {
-			continue
+		if key, fresh := seen.Add(t, idx); fresh {
+			out.Tuples = append(out.Tuples, key)
 		}
-		seen[key] = struct{}{}
-		nt := make(Tuple, len(idx))
-		for j, k := range idx {
-			nt[j] = t[k]
-		}
-		out.Tuples = append(out.Tuples, nt)
 	}
 	return out, nil
 }
@@ -137,15 +162,12 @@ func (r *Relation) DedupBy(names []string) error {
 	if err != nil {
 		return err
 	}
-	seen := make(map[string]struct{}, len(r.Tuples))
+	seen := NewKeySet(len(r.Tuples))
 	out := r.Tuples[:0]
 	for _, t := range r.Tuples {
-		key := t.Key(idx)
-		if _, ok := seen[key]; ok {
-			continue
+		if _, fresh := seen.Add(t, idx); fresh {
+			out = append(out, t)
 		}
-		seen[key] = struct{}{}
-		out = append(out, t)
 	}
 	r.Tuples = out
 	return nil
@@ -173,18 +195,13 @@ func (r *Relation) EqualMultiset(o *Relation) bool {
 	if !r.Schema.Equal(o.Schema) || len(r.Tuples) != len(o.Tuples) {
 		return false
 	}
-	all := make([]int, len(r.Schema))
-	for i := range all {
-		all[i] = i
-	}
-	counts := make(map[string]int, len(r.Tuples))
+	all := identityCols(len(r.Schema))
+	counts := NewKeyCounter(len(r.Tuples))
 	for _, t := range r.Tuples {
-		counts[t.Key(all)]++
+		counts.Inc(t, all)
 	}
 	for _, t := range o.Tuples {
-		k := t.Key(all)
-		counts[k]--
-		if counts[k] < 0 {
+		if counts.Dec(t, all) < 0 {
 			return false
 		}
 	}

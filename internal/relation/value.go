@@ -255,18 +255,72 @@ func appendUint64(dst []byte, u uint64) []byte {
 		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
 }
 
-// Hash64 returns a 64-bit FNV-1a hash of the value's canonical key encoding
-// (kind-aware, so INT 1 and STRING "1" hash differently). It is the basis of
-// hash partitioning.
-func (v Value) Hash64() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, b := range v.appendKey(nil) {
-		h ^= uint64(b)
-		h *= prime64
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime64
+	return h
+}
+
+func fnvUint64(h uint64, u uint64) uint64 {
+	h = fnvByte(h, byte(u>>56))
+	h = fnvByte(h, byte(u>>48))
+	h = fnvByte(h, byte(u>>40))
+	h = fnvByte(h, byte(u>>32))
+	h = fnvByte(h, byte(u>>24))
+	h = fnvByte(h, byte(u>>16))
+	h = fnvByte(h, byte(u>>8))
+	return fnvByte(h, byte(u))
+}
+
+// hashKeyInto extends a running FNV-1a hash with v's canonical key encoding,
+// byte for byte the same stream appendKey produces, without materializing it.
+func (v Value) hashKeyInto(h uint64) uint64 {
+	h = fnvByte(h, byte(v.Kind))
+	switch v.Kind {
+	case KindNull:
+	case KindInt, KindBool:
+		h = fnvUint64(h, uint64(v.Int))
+	case KindFloat:
+		h = fnvUint64(h, math.Float64bits(v.Float))
+	case KindString:
+		h = fnvUint64(h, uint64(len(v.Str)))
+		for i := 0; i < len(v.Str); i++ {
+			h = fnvByte(h, v.Str[i])
+		}
 	}
 	return h
+}
+
+// Hash64 returns a 64-bit FNV-1a hash of the value's canonical key encoding
+// (kind-aware, so INT 1 and STRING "1" hash differently). It is the basis of
+// hash partitioning and of the hashed key layer (KeyIndex, KeySet).
+func (v Value) Hash64() uint64 {
+	return v.hashKeyInto(fnvOffset64)
+}
+
+// keyEqual reports whether two values have identical canonical key encodings:
+// same kind, and payload compared by identity (floats by raw bits, so the
+// comparison matches Tuple.Key string equality exactly — NaN groups with NaN,
+// and -0.0 is a different key from +0.0).
+func (v Value) keyEqual(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNull:
+		return true
+	case KindInt, KindBool:
+		return v.Int == o.Int
+	case KindFloat:
+		return math.Float64bits(v.Float) == math.Float64bits(o.Float)
+	case KindString:
+		return v.Str == o.Str
+	default:
+		return false
+	}
 }

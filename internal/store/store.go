@@ -2,9 +2,11 @@
 // The paper's local warehouses hold gigabytes of flow records — far more
 // than fits in memory — so the site engine scans detail relations through
 // the RowSource interface rather than materializing them: a Table splits its
-// rows into fixed-size gob segments on disk and streams them through a small
-// decoded-segment cache, keeping scan memory bounded by (cache size ×
-// segment rows) regardless of table size.
+// rows into fixed-size segments on disk (the relation wire codec's
+// column-major format, one frame per segment) and streams them through a
+// small decoded-segment cache, keeping scan memory bounded by (cache size ×
+// segment rows) regardless of table size. Segments written by earlier
+// versions as gob files (.gob extension) remain readable.
 package store
 
 import (
@@ -172,13 +174,14 @@ func (t *Table) Flush() error {
 }
 
 func (t *Table) sealLocked() error {
-	file := fmt.Sprintf("seg%05d.gob", len(t.segments))
+	file := fmt.Sprintf("seg%05d.seg", len(t.segments))
 	f, err := os.Create(filepath.Join(t.dir, file))
 	if err != nil {
 		return err
 	}
 	bw := bufio.NewWriter(f)
-	if err := gob.NewEncoder(bw).Encode(t.buf); err != nil {
+	seg := &relation.Relation{Schema: t.schema, Tuples: t.buf}
+	if err := relation.NewEncoder(bw).Encode(seg); err != nil {
 		f.Close()
 		return err
 	}
@@ -260,8 +263,21 @@ func (t *Table) loadSegment(seg segmentMeta) ([]relation.Tuple, error) {
 	}
 	defer f.Close()
 	var rows []relation.Tuple
-	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&rows); err != nil {
-		return nil, fmt.Errorf("store: segment %s: %w", seg.File, err)
+	if filepath.Ext(seg.File) == ".gob" {
+		// Legacy segment format: a bare gob-encoded []Tuple.
+		if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&rows); err != nil {
+			return nil, fmt.Errorf("store: segment %s: %w", seg.File, err)
+		}
+	} else {
+		rel, err := relation.NewDecoder(bufio.NewReader(f)).Decode()
+		if err != nil {
+			return nil, fmt.Errorf("store: segment %s: %w", seg.File, err)
+		}
+		if !rel.Schema.Equal(t.schema) {
+			return nil, fmt.Errorf("store: segment %s schema %s does not match table schema %s",
+				seg.File, rel.Schema, t.schema)
+		}
+		rows = rel.Tuples
 	}
 	if len(rows) != seg.Rows {
 		return nil, fmt.Errorf("store: segment %s has %d rows, manifest says %d", seg.File, len(rows), seg.Rows)

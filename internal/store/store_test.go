@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/gob"
 	"os"
 	"path/filepath"
 	"testing"
@@ -131,6 +132,55 @@ func TestSegmentCacheEviction(t *testing.T) {
 	}
 }
 
+// Tables written by earlier versions used bare gob-encoded []Tuple segments
+// with a .gob extension; they must stay readable alongside codec segments.
+func TestLegacyGobSegmentFallback(t *testing.T) {
+	dir := t.TempDir()
+	tbl, err := Create(dir, "T", storeSchema(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := []relation.Tuple{row(100, "old"), row(101, "old")}
+	f, err := os.Create(filepath.Join(dir, "seg00000.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(f).Encode(legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tbl.segments = append(tbl.segments, segmentMeta{File: "seg00000.gob", Rows: len(legacy)})
+	tbl.total += len(legacy)
+	if err := tbl.writeManifest(); err != nil {
+		t.Fatal(err)
+	}
+	// New rows seal into codec segments next to the legacy one.
+	for i := int64(0); i < 4; i++ {
+		if err := tbl.Append(row(i, "new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reopened.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 6 {
+		t.Fatalf("materialized %d rows, want 6", got.Len())
+	}
+	if got.Tuples[0][1].Str != "old" || got.Tuples[2][1].Str != "new" {
+		t.Fatalf("segment order or content wrong: %v", got.Tuples)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	dir := t.TempDir()
 	if _, err := Create(dir, "T", relation.Schema{{Name: "", Kind: relation.KindInt}}, 4); err == nil {
@@ -164,7 +214,7 @@ func TestErrors(t *testing.T) {
 	if _, err := CreateFrom(cdir, "T", src, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(cdir, "seg00000.gob"), []byte("junk"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(cdir, "seg00000.seg"), []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	ct, err := Open(cdir)

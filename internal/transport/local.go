@@ -1,9 +1,12 @@
 package transport
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"skalla/internal/engine"
@@ -13,15 +16,35 @@ import (
 )
 
 // LocalSite is the in-process transport: it wraps an engine.Site and pushes
-// every request and response through gob serialization, so the byte and row
-// accounting matches a networked deployment while tests and benchmarks stay
-// single-process and deterministic.
+// every request and response through the same serialization a networked
+// deployment uses, so byte and row accounting stays faithful while tests and
+// benchmarks run single-process and deterministic. Like a real connection it
+// keeps persistent gob codecs per direction (type descriptors are charged
+// once, on the first message) and streams operator blocks through the compact
+// relation wire codec with pooled decode storage.
 type LocalSite struct {
 	site Backend
+
+	mu sync.Mutex
+	// downBuf/upBuf emulate the two directions of one connection; the
+	// persistent gob codecs over them survive across calls, exactly like the
+	// encoder/decoder pair a TCP connection keeps, so type descriptors are
+	// shipped (and charged) once per direction rather than per message.
+	downBuf, upBuf bytes.Buffer
+	downEnc, upEnc *gob.Encoder
+	downDec, upDec *gob.Decoder
+	pool           relation.BlockPool
 }
 
 // NewLocalSite wraps a backend (a site engine or a relay).
-func NewLocalSite(site Backend) *LocalSite { return &LocalSite{site: site} }
+func NewLocalSite(site Backend) *LocalSite {
+	l := &LocalSite{site: site}
+	l.downEnc = gob.NewEncoder(&l.downBuf)
+	l.downDec = gob.NewDecoder(&l.downBuf)
+	l.upEnc = gob.NewEncoder(&l.upBuf)
+	l.upDec = gob.NewDecoder(&l.upBuf)
+	return l
+}
 
 // ID implements Site.
 func (l *LocalSite) ID() int { return l.site.ID() }
@@ -32,28 +55,30 @@ func (l *LocalSite) roundTrip(ctx context.Context, req *Request) (*Response, sta
 	if err := ctx.Err(); err != nil {
 		return nil, stats.Call{}, err
 	}
-	reqBytes, err := encodeValue(req)
-	if err != nil {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.downEnc.Encode(req); err != nil {
 		return nil, stats.Call{}, fmt.Errorf("transport: encode request: %w", err)
 	}
-	decReq, err := decodeValue[Request](reqBytes)
-	if err != nil {
+	down := l.downBuf.Len()
+	var decReq Request
+	if err := l.downDec.Decode(&decReq); err != nil {
 		return nil, stats.Call{}, fmt.Errorf("transport: decode request: %w", err)
 	}
-	resp := dispatch(l.site, decReq)
-	respBytes, err := encodeValue(resp)
-	if err != nil {
+	resp := dispatch(l.site, &decReq)
+	if err := l.upEnc.Encode(resp); err != nil {
 		return nil, stats.Call{}, fmt.Errorf("transport: encode response: %w", err)
 	}
-	decResp, err := decodeValue[Response](respBytes)
-	if err != nil {
+	up := l.upBuf.Len()
+	var decResp Response
+	if err := l.upDec.Decode(&decResp); err != nil {
 		return nil, stats.Call{}, fmt.Errorf("transport: decode response: %w", err)
 	}
-	call := callFromSizes(l.site.ID(), req, decResp, len(reqBytes), len(respBytes))
+	call := callFromSizes(l.site.ID(), req, &decResp, down, up)
 	if decResp.Err != "" {
 		return nil, call, errors.New(decResp.Err)
 	}
-	return decResp, call, nil
+	return &decResp, call, nil
 }
 
 // EvalBase implements Site.
@@ -71,50 +96,60 @@ func (l *LocalSite) EvalOperator(ctx context.Context, req engine.OperatorRequest
 }
 
 // EvalOperatorStream implements Site: the request crosses the serialization
-// boundary once; each H_i block is serialized and delivered to sink as the
-// engine produces it.
+// boundary once; each H_i block is pushed through the relation wire codec
+// (schema sent once per stream, decode storage drawn from a pool) and handed
+// to sink as the engine produces it, exactly like the TCP operator stream.
 func (l *LocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorRequest, sink func(*relation.Relation) error) (stats.Call, error) {
 	if err := ctx.Err(); err != nil {
 		return stats.Call{}, err
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	wireReq := &Request{Kind: KindOperator, Operator: &req}
-	reqBytes, err := encodeValue(wireReq)
-	if err != nil {
+	if err := l.downEnc.Encode(wireReq); err != nil {
 		return stats.Call{}, fmt.Errorf("transport: encode request: %w", err)
-	}
-	decReq, err := decodeValue[Request](reqBytes)
-	if err != nil {
-		return stats.Call{}, fmt.Errorf("transport: decode request: %w", err)
 	}
 	call := stats.Call{
 		Site:      l.site.ID(),
-		BytesDown: len(reqBytes),
+		BytesDown: l.downBuf.Len(),
 		RowsDown:  reqRows(wireReq),
 	}
+	var decReq Request
+	if err := l.downDec.Decode(&decReq); err != nil {
+		return call, fmt.Errorf("transport: decode request: %w", err)
+	}
+	// Fresh stream codecs per request: the schema is shipped on the first
+	// block of the stream and cached for the rest.
+	enc := relation.NewEncoder(&l.upBuf)
+	dec := relation.NewDecoder(&l.upBuf)
+	dec.SetPool(&l.pool)
 	start := time.Now()
 	evalErr := l.site.EvalOperatorBlocks(*decReq.Operator, func(block *relation.Relation) error {
-		blockBytes, err := encodeValue(&Response{Rel: block, More: true})
+		if err := enc.Encode(block); err != nil {
+			return err
+		}
+		// +1 mirrors the TCP stream's per-frame block marker byte.
+		call.BytesUp += l.upBuf.Len() + 1
+		decBlock, err := dec.Decode()
 		if err != nil {
 			return err
 		}
-		decBlock, err := decodeValue[Response](blockBytes)
-		if err != nil {
-			return err
-		}
-		call.BytesUp += len(blockBytes)
-		call.RowsUp += decBlock.Rel.Len()
-		return sink(decBlock.Rel)
+		call.RowsUp += decBlock.Len()
+		return sink(decBlock)
 	})
 	call.Compute = time.Since(start)
 	if evalErr != nil {
 		return call, evalErr
 	}
 	// Terminal frame, as the network transport would send.
-	term, err := encodeValue(&Response{ComputeNS: call.Compute.Nanoseconds()})
-	if err != nil {
+	if err := l.upEnc.Encode(&Response{ComputeNS: call.Compute.Nanoseconds()}); err != nil {
 		return call, err
 	}
-	call.BytesUp += len(term)
+	call.BytesUp += l.upBuf.Len() + 1
+	var term Response
+	if err := l.upDec.Decode(&term); err != nil {
+		return call, err
+	}
 	return call, nil
 }
 

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -16,8 +17,19 @@ import (
 	"skalla/internal/stats"
 )
 
+// Operator responses stream out of band from the gob request/response pairs:
+// each H_i block is announced with a one-byte marker followed by a relation
+// wire-codec frame (schema shipped once per stream), and the stream ends with
+// an end marker followed by the usual gob terminal Response.
+const (
+	opStreamEnd   = 0x00
+	opStreamBlock = 0x01
+)
+
 // Server exposes a site engine over TCP. The wire protocol is a stream of
-// gob-encoded Request/Response pairs per connection, processed sequentially.
+// gob-encoded Request/Response pairs per connection, processed sequentially;
+// operator evaluations interleave codec-framed H_i blocks (see the stream
+// markers above).
 type Server struct {
 	site Backend
 	ln   net.Listener
@@ -98,7 +110,7 @@ func (s *Server) handle(conn net.Conn) {
 			return // connection closed or corrupt stream
 		}
 		if req.Kind == KindOperator {
-			if err := s.streamOperator(enc, &req); err != nil {
+			if err := s.streamOperator(conn, enc, &req); err != nil {
 				log.Printf("skalla site %d: stream response: %v", s.site.ID(), err)
 				return
 			}
@@ -112,18 +124,26 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// streamOperator evaluates an operator request with row blocking, sending
-// one response per H_i block (More set) and a terminal response carrying the
-// compute time and any evaluation error.
-func (s *Server) streamOperator(enc *gob.Encoder, req *Request) error {
+// streamOperator evaluates an operator request with row blocking, sending a
+// marker plus a codec frame per H_i block and a terminal gob response
+// carrying the compute time and any evaluation error.
+func (s *Server) streamOperator(conn net.Conn, enc *gob.Encoder, req *Request) error {
 	start := time.Now()
 	var evalErr error
 	if req.Operator == nil {
 		evalErr = fmt.Errorf("transport: operator request without payload")
 	} else {
+		blockEnc := relation.NewEncoder(conn)
+		marker := [1]byte{opStreamBlock}
 		evalErr = s.site.EvalOperatorBlocks(*req.Operator, func(block *relation.Relation) error {
-			return enc.Encode(&Response{SiteID: s.site.ID(), Rel: block, More: true})
+			if _, err := conn.Write(marker[:]); err != nil {
+				return err
+			}
+			return blockEnc.Encode(block)
 		})
+	}
+	if _, err := conn.Write([]byte{opStreamEnd}); err != nil {
+		return err
 	}
 	term := &Response{SiteID: s.site.ID(), ComputeNS: time.Since(start).Nanoseconds()}
 	if evalErr != nil {
@@ -152,12 +172,18 @@ func (c *countingConn) Write(p []byte) (int, error) {
 
 // Client is a TCP Site: it connects to a Server and implements the Site
 // interface with per-call byte accounting from the connection itself.
+//
+// The client owns one buffered reader over the connection, shared between the
+// gob decoder and the relation codec decoder. gob never over-reads from an
+// io.ByteReader, so alternating the two on the same stream is safe.
 type Client struct {
 	mu   sync.Mutex
 	conn *countingConn
+	br   *bufio.Reader
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	id   int
+	pool relation.BlockPool
 }
 
 // Dial connects to a site server and performs the hello handshake to learn
@@ -168,10 +194,12 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	conn := &countingConn{Conn: raw}
+	br := bufio.NewReader(conn)
 	c := &Client{
 		conn: conn,
+		br:   br,
 		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(conn),
+		dec:  gob.NewDecoder(br),
 	}
 	resp, _, err := c.roundTrip(context.Background(), &Request{Kind: KindHello})
 	if err != nil {
@@ -249,28 +277,41 @@ func (c *Client) EvalOperatorStream(ctx context.Context, req engine.OperatorRequ
 		return stats.Call{}, fmt.Errorf("transport: send: %w", err)
 	}
 	call := stats.Call{Site: c.id, RowsDown: reqRows(wireReq)}
+	blockDec := relation.NewDecoder(c.br)
+	blockDec.SetPool(&c.pool)
 	var sinkErr error
 	for {
-		var resp Response
-		if err := c.dec.Decode(&resp); err != nil {
+		marker, err := c.br.ReadByte()
+		if err != nil {
 			return call, fmt.Errorf("transport: receive: %w", err)
 		}
-		if resp.More {
-			if resp.Rel != nil {
-				call.RowsUp += resp.Rel.Len()
-				if sinkErr == nil {
-					sinkErr = sink(resp.Rel)
-				}
+		switch marker {
+		case opStreamBlock:
+			block, err := blockDec.Decode()
+			if err != nil {
+				return call, fmt.Errorf("transport: receive block: %w", err)
 			}
-			continue
+			call.RowsUp += block.Len()
+			if sinkErr == nil {
+				sinkErr = sink(block)
+			} else {
+				relation.Recycle(block) // draining after a sink failure
+			}
+		case opStreamEnd:
+			var resp Response
+			if err := c.dec.Decode(&resp); err != nil {
+				return call, fmt.Errorf("transport: receive: %w", err)
+			}
+			call.Compute = time.Duration(resp.ComputeNS)
+			call.BytesDown = int(c.conn.written - w0)
+			call.BytesUp = int(c.conn.read - r0)
+			if resp.Err != "" {
+				return call, errors.New(resp.Err)
+			}
+			return call, sinkErr
+		default:
+			return call, fmt.Errorf("transport: unknown stream marker 0x%02x", marker)
 		}
-		call.Compute = time.Duration(resp.ComputeNS)
-		call.BytesDown = int(c.conn.written - w0)
-		call.BytesUp = int(c.conn.read - r0)
-		if resp.Err != "" {
-			return call, errors.New(resp.Err)
-		}
-		return call, sinkErr
 	}
 }
 

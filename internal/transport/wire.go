@@ -1,8 +1,6 @@
 package transport
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"time"
 
@@ -129,25 +127,6 @@ func dispatch(site Backend, req *Request) *Response {
 		resp.Rel = nil
 	}
 	return resp
-}
-
-// encodeSize gob-encodes v and returns the serialized bytes. Used by the
-// in-process transport to charge exactly what a networked deployment would
-// ship.
-func encodeValue(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-func decodeValue[T any](b []byte) (*T, error) {
-	var out T
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&out); err != nil {
-		return nil, err
-	}
-	return &out, nil
 }
 
 // reqRows counts the base-structure rows a request ships to the site.
