@@ -26,6 +26,7 @@ import (
 	"skalla"
 	"skalla/internal/egil"
 	"skalla/internal/manifest"
+	"skalla/internal/obs"
 	"skalla/internal/plan"
 	"skalla/internal/stats"
 )
@@ -53,12 +54,30 @@ func run(args []string, out io.Writer) error {
 		maxRows   = fs.Int("max-rows", 20, "result rows to print")
 		statsJSON = fs.String("stats-json", "", "also write the execution metrics as JSON to this file")
 		trace     = fs.Bool("trace", false, "stream per-round execution progress while the query runs")
+		obsAddr   = fs.String("obs-addr", "", "observability listen address for /metrics, /healthz and /debug/pprof (empty = disabled)")
+		logLevel  = fs.String("log-level", "warn", "log level: debug, info, warn or error")
+		logFormat = fs.String("log-format", "text", "log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *sitesFlag == "" {
 		return fmt.Errorf("-sites is required")
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("unknown log format %q (want text or json)", *logFormat)
+	}
+	if _, err := obs.SetupLogger("skalla-coordinator", *logLevel, *logFormat == "json", os.Stderr); err != nil {
+		return err
+	}
+	health := obs.NewHealth()
+	health.Register("sites")
+	if *obsAddr != "" {
+		obsSrv, err := obs.ServeHTTP(*obsAddr, nil, health, nil)
+		if err != nil {
+			return err
+		}
+		defer obsSrv.Close()
 	}
 	text := *queryText
 	if *queryFile != "" {
@@ -119,6 +138,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer cluster.Close()
+	health.Set("sites", true)
 
 	if *replFlag {
 		return repl(cluster, os.Stdin, out, opts, *maxRows)
@@ -147,7 +167,13 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprint(out, res.Plan.Describe())
 	fmt.Fprint(out, res.Metrics.String())
 	if *statsJSON != "" {
-		data, err := json.MarshalIndent(res.Metrics, "", "  ")
+		// The export carries the raw metrics plus the percentile summaries
+		// (per-call site compute and bytes, per-round sync-merge time).
+		export := struct {
+			*stats.Metrics
+			Summary stats.Summary `json:"summary"`
+		}{res.Metrics, res.Metrics.Summary()}
+		data, err := json.MarshalIndent(export, "", "  ")
 		if err != nil {
 			return err
 		}

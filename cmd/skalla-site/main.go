@@ -7,13 +7,16 @@
 //	skalla-site -addr :7070 -site 0 -data /data/tpcr
 //
 // Without -data the site starts empty; a coordinator (or test tool) can push
-// partitions over the wire.
+// partitions over the wire. -obs-addr starts the observability listener
+// (/metrics, /healthz, /debug/pprof/); /healthz reports ready only once the
+// partition is loaded and the site listener is up.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,6 +24,7 @@ import (
 
 	"skalla/internal/engine"
 	"skalla/internal/manifest"
+	"skalla/internal/obs"
 	"skalla/internal/relation"
 	"skalla/internal/store"
 	"skalla/internal/transport"
@@ -41,21 +45,80 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
-	fmt.Println("shutting down")
+	srv.log.Info("shutting down")
 	return srv.Close()
 }
 
+// siteProc bundles the running site server with its optional observability
+// listener so run (and the tests) manage them as one unit.
+type siteProc struct {
+	srv    *transport.Server
+	obsSrv *obs.HTTPServer
+	health *obs.Health
+	log    *slog.Logger
+}
+
+// Addr returns the site protocol listen address.
+func (p *siteProc) Addr() string { return p.srv.Addr() }
+
+// ObsAddr returns the observability listen address ("" when disabled).
+func (p *siteProc) ObsAddr() string {
+	if p.obsSrv == nil {
+		return ""
+	}
+	return p.obsSrv.Addr()
+}
+
+// Close stops the site server and the observability listener.
+func (p *siteProc) Close() error {
+	p.health.Set("listener", false)
+	err := p.srv.Close()
+	if p.obsSrv != nil {
+		p.obsSrv.Close()
+	}
+	return err
+}
+
 // start parses flags, loads the site's partition, and begins serving; it
-// returns the running server (run waits on it until a signal arrives).
-func start(args []string) (*transport.Server, error) {
+// returns the running process handle (run waits on it until a signal arrives).
+func start(args []string) (*siteProc, error) {
 	fs := flag.NewFlagSet("skalla-site", flag.ContinueOnError)
 	var (
-		addr = fs.String("addr", ":7070", "listen address")
-		site = fs.Int("site", 0, "site index within the dataset")
-		data = fs.String("data", "", "dataset directory written by tpcgen (optional)")
-		disk = fs.Bool("disk", false, "serve the partition from a disk-backed segment store (bounded memory) instead of loading it into RAM")
+		addr      = fs.String("addr", ":7070", "listen address")
+		site      = fs.Int("site", 0, "site index within the dataset")
+		data      = fs.String("data", "", "dataset directory written by tpcgen (optional)")
+		disk      = fs.Bool("disk", false, "serve the partition from a disk-backed segment store (bounded memory) instead of loading it into RAM")
+		obsAddr   = fs.String("obs-addr", "", "observability listen address for /metrics, /healthz and /debug/pprof (empty = disabled)")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat = fs.String("log-format", "text", "log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", *logFormat)
+	}
+	logger, err := obs.SetupLogger("skalla-site", *logLevel, *logFormat == "json", os.Stderr)
+	if err != nil {
+		return nil, err
+	}
+	log := logger.With("site", *site)
+
+	health := obs.NewHealth()
+	health.Register("partition")
+	health.Register("listener")
+	var obsSrv *obs.HTTPServer
+	if *obsAddr != "" {
+		obsSrv, err = obs.ServeHTTP(*obsAddr, nil, health, log)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// On any later startup failure, shut the observability listener down too.
+	fail := func(err error) (*siteProc, error) {
+		if obsSrv != nil {
+			obsSrv.Close()
+		}
 		return nil, err
 	}
 
@@ -63,14 +126,14 @@ func start(args []string) (*transport.Server, error) {
 	if *data != "" {
 		m, err := manifest.Load(*data)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if *site < 0 || *site >= m.NumSites {
-			return nil, fmt.Errorf("site %d out of range (dataset has %d sites)", *site, m.NumSites)
+			return fail(fmt.Errorf("site %d out of range (dataset has %d sites)", *site, m.NumSites))
 		}
 		relName, err := m.RelationName()
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		gobPath := manifest.SitePath(*data, *site, relName)
 		if *disk {
@@ -80,35 +143,36 @@ func start(args []string) (*transport.Server, error) {
 				// First run: convert the gob partition into segments once.
 				part, lerr := relation.LoadGobFile(gobPath)
 				if lerr != nil {
-					return nil, lerr
+					return fail(lerr)
 				}
 				tbl, err = store.CreateFrom(storeDir, relName, part, store.DefaultSegmentRows)
 				if err != nil {
-					return nil, err
+					return fail(err)
 				}
-				fmt.Printf("site %d: converted %s to %d disk segment(s)\n", *site, relName, tbl.NumSegments())
+				log.Info("converted partition to disk segments", "relation", relName, "segments", tbl.NumSegments())
 			}
 			if err := es.LoadSource(relName, tbl); err != nil {
-				return nil, err
+				return fail(err)
 			}
-			fmt.Printf("site %d: serving %s from disk (%d rows, %d segments)\n",
-				*site, relName, tbl.Len(), tbl.NumSegments())
+			log.Info("serving partition from disk", "relation", relName, "rows", tbl.Len(), "segments", tbl.NumSegments())
 		} else {
 			part, err := relation.LoadGobFile(gobPath)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			if err := es.Load(relName, part); err != nil {
-				return nil, err
+				return fail(err)
 			}
-			fmt.Printf("site %d: loaded %s (%d rows)\n", *site, relName, part.Len())
+			log.Info("loaded partition", "relation", relName, "rows", part.Len())
 		}
 	}
+	health.Set("partition", true)
 
 	srv, err := transport.Serve(es, *addr)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	fmt.Printf("site %d: serving on %s\n", *site, srv.Addr())
-	return srv, nil
+	health.Set("listener", true)
+	log.Info("serving", "addr", srv.Addr())
+	return &siteProc{srv: srv, obsSrv: obsSrv, health: health, log: log}, nil
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestStartObsEndpoints(t *testing.T) {
+	dir := writeFlowDataset(t, 2)
+	srv, err := start([]string{"-addr", "127.0.0.1:0", "-site", "0", "-data", dir,
+		"-obs-addr", "127.0.0.1:0", "-log-level", "warn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.ObsAddr() == "" {
+		t.Fatal("observability listener not started")
+	}
+
+	// The partition is loaded and the listener is up, so /healthz is ready.
+	resp, err := http.Get("http://" + srv.ObsAddr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"partition":true`) {
+		t.Errorf("/healthz body %s missing partition check", body)
+	}
+
+	resp, err = http.Get("http://" + srv.ObsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(metrics), "skalla_server_requests_total") {
+		t.Error("/metrics missing skalla_server_requests_total family")
+	}
+}
+
+func TestStartObsDisabled(t *testing.T) {
+	srv, err := start([]string{"-addr", "127.0.0.1:0", "-site", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.ObsAddr() != "" {
+		t.Error("observability listener started without -obs-addr")
+	}
+}
+
+func TestStartBadLogFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-addr", "127.0.0.1:0", "-log-level", "loud"},
+		{"-addr", "127.0.0.1:0", "-log-format", "xml"},
+	} {
+		if srv, err := start(args); err == nil {
+			srv.Close()
+			t.Errorf("start(%v): expected error", args)
+		}
+	}
+}

@@ -120,6 +120,10 @@ type Row struct {
 	CoordTime   time.Duration
 	CommTime    time.Duration
 	RoundDetail []RoundRow
+	// Summary carries the p50/p95/max distribution figures (per-call site
+	// compute and message sizes, per-round sync-merge time) into the -json
+	// export, so latency-shape regressions show up even when totals hold.
+	Summary stats.Summary
 }
 
 // RoundRow is the per-synchronization-round traffic breakdown of a Row. It
@@ -177,6 +181,7 @@ func measure(c *Cluster, q gmdj.Query, opts plan.Options, series string, x int) 
 		CoordTime:   m.CoordTime(),
 		CommTime:    m.CommTime(),
 		RoundDetail: detail,
+		Summary:     m.Summary(),
 	}, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"skalla/internal/distrib"
 	"skalla/internal/engine"
 	"skalla/internal/gmdj"
+	"skalla/internal/obs"
 	"skalla/internal/plan"
 	"skalla/internal/relation"
 	"skalla/internal/stats"
@@ -99,8 +100,26 @@ func (c *Coordinator) Execute(ctx context.Context, q gmdj.Query, opts plan.Optio
 	return c.ExecutePlan(ctx, pl, src)
 }
 
-// ExecutePlan runs a pre-compiled plan.
+// ExecutePlan runs a pre-compiled plan. A query ID is drawn from ctx (or
+// generated) and propagated to every site call, so site-side logs and metrics
+// correlate with the coordinator's rounds; the whole evaluation is recorded
+// as an obs query span.
 func (c *Coordinator) ExecutePlan(ctx context.Context, pl *plan.Plan, src gmdj.SchemaSource) (*Result, error) {
+	qid := obs.QueryIDFrom(ctx)
+	if qid == "" {
+		qid = obs.NewQueryID()
+		ctx = obs.WithQueryID(ctx, qid)
+	}
+	span := obs.StartQuery(qid)
+	if c.tracer != nil {
+		span.AddObserver(tracerObserver{c.tracer})
+	}
+	res, err := c.executePlan(ctx, pl, src, span)
+	span.End(err)
+	return res, err
+}
+
+func (c *Coordinator) executePlan(ctx context.Context, pl *plan.Plan, src gmdj.SchemaSource, span *obs.QuerySpan) (*Result, error) {
 	segs, err := buildSegments(pl.Query, src, len(pl.Keys()))
 	if err != nil {
 		return nil, err
@@ -117,23 +136,23 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, pl *plan.Plan, src gmdj.S
 		if pl.FullLocal {
 			name = "local-all"
 		}
-		if err := c.localRound(ctx, pl, mg, metrics, pl.LocalPrefix, name); err != nil {
+		if err := c.localRound(ctx, pl, mg, metrics, span, pl.LocalPrefix, name); err != nil {
 			return nil, err
 		}
 		startOp = pl.LocalPrefix
 	case pl.SkipBaseSync:
 		// Prop. 2: the base sync folds into the first operator's round.
-		if err := c.localRound(ctx, pl, mg, metrics, 1, "base+MD1"); err != nil {
+		if err := c.localRound(ctx, pl, mg, metrics, span, 1, "base+MD1"); err != nil {
 			return nil, err
 		}
 		startOp = 1
 	default:
-		if err := c.baseRound(ctx, pl, mg, metrics); err != nil {
+		if err := c.baseRound(ctx, pl, mg, metrics, span); err != nil {
 			return nil, err
 		}
 	}
 	for k := startOp; k < len(pl.Query.Ops); k++ {
-		if err := c.operatorRound(ctx, pl, mg, metrics, k); err != nil {
+		if err := c.operatorRound(ctx, pl, mg, metrics, span, k); err != nil {
 			return nil, err
 		}
 	}
@@ -184,8 +203,8 @@ func (c *Coordinator) broadcast(ctx context.Context, f func(i int, s transport.S
 // baseRound is round 0 of the unreduced algorithm: every site computes its
 // base-values fragment B_i; the coordinator unions and de-duplicates them
 // into X_0.
-func (c *Coordinator) baseRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics) error {
-	c.traceRoundStart("base", 0)
+func (c *Coordinator) baseRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, span *obs.QuerySpan) error {
+	rs := span.StartRound("base", 0)
 	results, err := c.broadcast(ctx, func(_ int, s transport.Site) (*relation.Relation, stats.Call, error) {
 		return s.EvalBase(ctx, pl.Query.Base)
 	})
@@ -205,17 +224,20 @@ func (c *Coordinator) baseRound(ctx context.Context, pl *plan.Plan, mg *merger, 
 		return err
 	}
 	round.CoordTime = time.Since(coordStart)
+	rs.ObserveMerge(round.CoordTime)
 	metrics.AddRound(round)
-	c.traceCalls(round.Name, round.Calls)
-	c.traceRoundEnd(round)
+	for _, call := range round.Calls {
+		rs.Call(obsCall(call))
+	}
+	rs.End(round.CoordTime)
 	return nil
 }
 
 // localRound ships the query prefix to every site for local evaluation and
 // merges the returned X fragments (synchronization-reduced rounds of
 // Prop. 2 / Cor. 1).
-func (c *Coordinator) localRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, upTo int, name string) error {
-	c.traceRoundStart(name, 0)
+func (c *Coordinator) localRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, span *obs.QuerySpan, upTo int, name string) error {
+	rs := span.StartRound(name, 0)
 	req := engine.LocalRequest{Query: pl.Query, UpTo: upTo}
 	results, err := c.broadcast(ctx, func(_ int, s transport.Site) (*relation.Relation, stats.Call, error) {
 		return s.EvalLocal(ctx, req)
@@ -230,15 +252,19 @@ func (c *Coordinator) localRound(ctx context.Context, pl *plan.Plan, mg *merger,
 	}
 	for _, r := range results {
 		round.Calls = append(round.Calls, r.call)
+		t0 := time.Now()
 		if err := mg.MergeLocal(r.rel); err != nil {
 			return err
 		}
+		rs.ObserveMerge(time.Since(t0))
 	}
 	mg.RecomputeDerived(upTo)
 	round.CoordTime = time.Since(coordStart)
 	metrics.AddRound(round)
-	c.traceCalls(round.Name, round.Calls)
-	c.traceRoundEnd(round)
+	for _, call := range round.Calls {
+		rs.Call(obsCall(call))
+	}
+	rs.End(round.CoordTime)
 	return nil
 }
 
@@ -251,10 +277,10 @@ func (c *Coordinator) localRound(ctx context.Context, pl *plan.Plan, mg *merger,
 // Synchronization is streaming (Sect. 3.2): each site's H_i — in row blocks
 // when row blocking is on — is merged as it arrives, while slower sites are
 // still computing. The key-indexed merge makes each block O(|block|).
-func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, k int) error {
+func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, span *obs.QuerySpan, k int) error {
 	op := pl.Query.Ops[k]
 	roundName := fmt.Sprintf("MD%d", k+1)
-	c.traceRoundStart(roundName, mg.X().Len())
+	rs := span.StartRound(roundName, mg.X().Len())
 	// A stable snapshot of X: fragments reference it while the live X is
 	// extended and mutated by the streaming merge.
 	snap := mg.Snapshot()
@@ -331,7 +357,9 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 		}
 		t0 := time.Now()
 		mergeErr = mg.MergeH(b, k)
-		coordTime += time.Since(t0)
+		d := time.Since(t0)
+		coordTime += d
+		rs.ObserveMerge(d)
 		// The block's rows are fully folded into X; hand its storage back to
 		// the transport's decode pool.
 		relation.Recycle(b)
@@ -353,8 +381,10 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 	coordTime += time.Since(t0)
 	round := stats.RoundStat{Name: roundName, Calls: calls, CoordTime: coordTime}
 	metrics.AddRound(round)
-	c.traceCalls(roundName, calls)
-	c.traceRoundEnd(round)
+	for _, call := range calls {
+		rs.Call(obsCall(call))
+	}
+	rs.End(coordTime)
 	return nil
 }
 

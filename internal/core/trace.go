@@ -1,11 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"io"
-	"sync"
-	"time"
 
+	"skalla/internal/obs"
 	"skalla/internal/stats"
 )
 
@@ -13,6 +11,10 @@ import (
 // per synchronization round, one SiteCall per completed site exchange, and a
 // RoundEnd with the round's aggregate statistics. Implementations are called
 // sequentially from the coordinator's control loop (never concurrently).
+//
+// Tracer predates the obs span model; the coordinator now drives obs spans
+// and an attached Tracer sees the same events through a small adapter, so
+// existing implementations keep working unchanged.
 type Tracer interface {
 	// RoundStart announces a round and the number of base-structure rows the
 	// coordinator currently holds.
@@ -27,59 +29,83 @@ type Tracer interface {
 // observational only; it never changes plans or results.
 func (c *Coordinator) SetTracer(t Tracer) { c.tracer = t }
 
-// traceRoundStart/SiteCalls/RoundEnd are nil-safe helpers.
-func (c *Coordinator) traceRoundStart(name string, xRows int) {
-	if c.tracer != nil {
-		c.tracer.RoundStart(name, xRows)
+// obsCall converts a stats.Call to the obs span model's call record.
+func obsCall(c stats.Call) obs.SiteCall {
+	return obs.SiteCall{
+		Site:      c.Site,
+		BytesDown: c.BytesDown,
+		BytesUp:   c.BytesUp,
+		RowsDown:  c.RowsDown,
+		RowsUp:    c.RowsUp,
+		Compute:   c.Compute,
 	}
 }
 
-func (c *Coordinator) traceCalls(name string, calls []stats.Call) {
-	if c.tracer == nil {
-		return
-	}
-	for _, call := range calls {
-		c.tracer.SiteCall(name, call)
+// statsCall converts back for Tracer implementations.
+func statsCall(c obs.SiteCall) stats.Call {
+	return stats.Call{
+		Site:      c.Site,
+		BytesDown: c.BytesDown,
+		BytesUp:   c.BytesUp,
+		RowsDown:  c.RowsDown,
+		RowsUp:    c.RowsUp,
+		Compute:   c.Compute,
 	}
 }
 
-func (c *Coordinator) traceRoundEnd(round stats.RoundStat) {
-	if c.tracer != nil {
-		c.tracer.RoundEnd(round)
+// tracerObserver adapts a legacy Tracer to the obs span event stream.
+type tracerObserver struct {
+	t Tracer
+}
+
+// ObserveSpan implements obs.Observer.
+func (a tracerObserver) ObserveSpan(e obs.Event) {
+	switch e.Kind {
+	case obs.EventRoundStart:
+		a.t.RoundStart(e.Round, e.XRows)
+	case obs.EventSiteCall:
+		a.t.SiteCall(e.Round, statsCall(e.Call))
+	case obs.EventRoundEnd:
+		calls := make([]stats.Call, len(e.Calls))
+		for i, c := range e.Calls {
+			calls[i] = statsCall(c)
+		}
+		a.t.RoundEnd(stats.RoundStat{Name: e.Round, Calls: calls, CoordTime: e.CoordTime})
 	}
 }
 
 // WriterTracer renders trace events as indented lines on an io.Writer. It is
-// safe for concurrent use (a mutex serializes writes), so one instance can
-// be shared across coordinators.
+// a thin adapter over the obs span model's line renderer: each event formats
+// into one buffer and lands in a single locked Write, so interleaved
+// multi-coordinator output can never split an event line — even when several
+// WriterTracer-equipped coordinators share one writer through the same
+// LineObserver-backed sink.
 type WriterTracer struct {
-	mu sync.Mutex
-	w  io.Writer
+	lo *obs.LineObserver
 }
 
 // NewWriterTracer wraps a writer.
-func NewWriterTracer(w io.Writer) *WriterTracer { return &WriterTracer{w: w} }
+func NewWriterTracer(w io.Writer) *WriterTracer {
+	return &WriterTracer{lo: obs.NewLineObserver(w)}
+}
 
 // RoundStart implements Tracer.
 func (t *WriterTracer) RoundStart(name string, xRows int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	fmt.Fprintf(t.w, "round %s: start (X holds %d rows)\n", name, xRows)
+	t.lo.ObserveSpan(obs.Event{Kind: obs.EventRoundStart, Round: name, XRows: xRows})
 }
 
 // SiteCall implements Tracer.
 func (t *WriterTracer) SiteCall(name string, call stats.Call) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	fmt.Fprintf(t.w, "round %s: site %d  down %dB/%d rows  up %dB/%d rows  compute %s\n",
-		name, call.Site, call.BytesDown, call.RowsDown, call.BytesUp, call.RowsUp,
-		call.Compute.Round(10*time.Microsecond))
+	t.lo.ObserveSpan(obs.Event{Kind: obs.EventSiteCall, Round: name, Call: obsCall(call)})
 }
 
 // RoundEnd implements Tracer.
 func (t *WriterTracer) RoundEnd(round stats.RoundStat) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	fmt.Fprintf(t.w, "round %s: done  %dB down, %dB up, coordinator %s\n",
-		round.Name, round.BytesDown(), round.BytesUp(), round.CoordTime.Round(10*time.Microsecond))
+	t.lo.ObserveSpan(obs.Event{
+		Kind:      obs.EventRoundEnd,
+		Round:     round.Name,
+		BytesDown: round.BytesDown(),
+		BytesUp:   round.BytesUp(),
+		CoordTime: round.CoordTime,
+	})
 }

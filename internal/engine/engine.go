@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"skalla/internal/gmdj"
+	"skalla/internal/obs"
 	"skalla/internal/relation"
 )
 
@@ -127,6 +128,7 @@ func (s *Site) DetailSchema(name string) (relation.Schema, error) {
 
 // EvalBase computes the site's fragment B_i of the base-values relation.
 func (s *Site) EvalBase(bq gmdj.BaseQuery) (*relation.Relation, error) {
+	obs.EngineEvals.With("base").Inc()
 	detail, err := s.DetailSource(bq.Detail)
 	if err != nil {
 		return nil, err
@@ -180,6 +182,7 @@ func (s *Site) EvalOperator(req OperatorRequest) (*relation.Relation, error) {
 // Emit errors abort the evaluation. At least one (possibly empty) block is
 // always emitted.
 func (s *Site) EvalOperatorBlocks(req OperatorRequest, emit func(*relation.Relation) error) error {
+	obs.EngineEvals.With("operator").Inc()
 	if req.Base == nil {
 		return fmt.Errorf("engine: operator request without base relation")
 	}
@@ -210,6 +213,7 @@ func (s *Site) EvalOperatorBlocks(req OperatorRequest, emit func(*relation.Relat
 	block := relation.New(hSchema)
 	emitted := false
 	flush := func() error {
+		obs.EngineBlocks.Inc()
 		if err := emit(block); err != nil {
 			return err
 		}
@@ -234,6 +238,7 @@ func (s *Site) EvalOperatorBlocks(req OperatorRequest, emit func(*relation.Relat
 		}
 	}
 	if block.Len() > 0 || !emitted {
+		obs.EngineBlocks.Inc()
 		return emit(block)
 	}
 	return nil
@@ -256,6 +261,7 @@ type LocalRequest struct {
 // are the sole carriers of group membership, so dropping untouched groups
 // would lose them.
 func (s *Site) EvalLocal(req LocalRequest) (*relation.Relation, error) {
+	obs.EngineEvals.With("local").Inc()
 	s.mu.RLock()
 	useHash := s.useHash
 	s.mu.RUnlock()

@@ -5,6 +5,7 @@ import (
 
 	"skalla/internal/agg"
 	"skalla/internal/expr"
+	"skalla/internal/obs"
 	"skalla/internal/relation"
 )
 
@@ -19,6 +20,19 @@ type RowSource interface {
 	Scan(fn func(relation.Tuple) error) error
 	// Len returns the row count.
 	Len() int
+}
+
+// scanCounted streams src through fn like src.Scan, charging the rows visited
+// to the engine rows-scanned counter — one counter add per scan, never per
+// row, so the accounting stays off the hot path.
+func scanCounted(src RowSource, fn func(relation.Tuple) error) error {
+	rows := 0
+	err := src.Scan(func(t relation.Tuple) error {
+		rows++
+		return fn(t)
+	})
+	obs.EngineRowsScanned.Add(int64(rows))
+	return err
 }
 
 // SourceOf adapts a materialized relation to a RowSource.
@@ -179,7 +193,7 @@ func EvalBase(bq BaseQuery, detail RowSource) (*relation.Relation, error) {
 
 	seen := relation.NewKeySet(64)
 	scratch := make(relation.Tuple, len(idx))
-	err = detail.Scan(func(t relation.Tuple) error {
+	err = scanCounted(detail, func(t relation.Tuple) error {
 		if where != nil {
 			ok, err := expr.EvalCond(where, nil, t)
 			if err != nil {
@@ -308,7 +322,7 @@ func AccumulateOperator(x *relation.Relation, op Operator, detail RowSource, use
 			for i := range paddedCols {
 				paddedCols[i] = i
 			}
-			err := detail.Scan(func(dr relation.Tuple) error {
+			err := scanCounted(detail, func(dr relation.Tuple) error {
 				// A NULL detail value pads identically whether its bit is
 				// set or not; restrict masks to non-NULL dimensions so no
 				// probe (and hence no base row) repeats for this detail row.
@@ -350,7 +364,7 @@ func AccumulateOperator(x *relation.Relation, op Operator, detail RowSource, use
 			continue
 		}
 		if st.hashIdx != nil {
-			err := detail.Scan(func(dr relation.Tuple) error {
+			err := scanCounted(detail, func(dr relation.Tuple) error {
 				for _, bi := range st.hashIdx.Lookup(dr, st.probe) {
 					ok, err := expr.EvalCond(st.cond, x.Tuples[bi], dr)
 					if err != nil {
@@ -370,7 +384,7 @@ func AccumulateOperator(x *relation.Relation, op Operator, detail RowSource, use
 			}
 			continue
 		}
-		err := detail.Scan(func(dr relation.Tuple) error {
+		err := scanCounted(detail, func(dr relation.Tuple) error {
 			for bi, br := range x.Tuples {
 				ok, err := expr.EvalCond(st.cond, br, dr)
 				if err != nil {

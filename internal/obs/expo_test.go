@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a minimal parser for the Prometheus text format used to
+// round-trip what WriteText renders: it returns series name+labels -> value
+// and family name -> type.
+func parseExposition(t *testing.T, text string) (map[string]float64, map[string]string) {
+	t.Helper()
+	series := make(map[string]float64)
+	types := make(map[string]string)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		// Value is after the last space; the label part may contain spaces
+		// only inside quoted values, which WriteText never emits unescaped.
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("malformed series line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			t.Fatalf("series %q: bad value: %v", line, err)
+		}
+		key := line[:idx]
+		if _, dup := series[key]; dup {
+			t.Fatalf("duplicate series %q", key)
+		}
+		series[key] = v
+	}
+	return series, types
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_requests_total", "requests").Add(42)
+	r.Gauge("rt_conns", "open connections").Set(-3)
+	cv := r.CounterVec("rt_bytes_total", "bytes", "site", "direction")
+	cv.With("0", "down").Add(100)
+	cv.With("0", "up").Add(200)
+	cv.With("1", "down").Add(300)
+	h := r.Histogram("rt_seconds", "latency", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(10)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	series, types := parseExposition(t, b.String())
+
+	wantTypes := map[string]string{
+		"rt_requests_total": "counter",
+		"rt_conns":          "gauge",
+		"rt_bytes_total":    "counter",
+		"rt_seconds":        "histogram",
+	}
+	for name, want := range wantTypes {
+		if types[name] != want {
+			t.Errorf("TYPE %s = %q, want %q", name, types[name], want)
+		}
+	}
+	wantSeries := map[string]float64{
+		"rt_requests_total": 42,
+		"rt_conns":          -3,
+		`rt_bytes_total{site="0",direction="down"}`: 100,
+		`rt_bytes_total{site="0",direction="up"}`:   200,
+		`rt_bytes_total{site="1",direction="down"}`: 300,
+		`rt_seconds_bucket{le="0.5"}`:               1,
+		`rt_seconds_bucket{le="2"}`:                 2,
+		`rt_seconds_bucket{le="+Inf"}`:              3,
+		`rt_seconds_sum`:                            11.25,
+		`rt_seconds_count`:                          3,
+	}
+	for key, want := range wantSeries {
+		got, ok := series[key]
+		if !ok {
+			t.Errorf("series %q missing; have %v", key, keys(series))
+			continue
+		}
+		if got != want {
+			t.Errorf("series %q = %g, want %g", key, got, want)
+		}
+	}
+}
+
+func TestExpositionLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "label escaping", "q")
+	v.With(`a"b\c` + "\nd").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `esc_total{q="a\"b\\c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped series %q not found in:\n%s", want, out)
+	}
+	// The raw newline must not survive into the series line.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "esc_total{") && !strings.HasSuffix(line, " 1") {
+			t.Errorf("series line split by unescaped newline: %q", line)
+		}
+	}
+}
+
+func TestExpositionHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("cum_seconds", "h", []float64{1, 2, 3}, "site")
+	h := hv.With("5")
+	for _, v := range []float64{0.5, 1.5, 1.7, 2.5, 9} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	series, _ := parseExposition(t, b.String())
+	want := map[string]float64{
+		`cum_seconds_bucket{site="5",le="1"}`:    1,
+		`cum_seconds_bucket{site="5",le="2"}`:    3,
+		`cum_seconds_bucket{site="5",le="3"}`:    4,
+		`cum_seconds_bucket{site="5",le="+Inf"}`: 5,
+		`cum_seconds_count{site="5"}`:            5,
+	}
+	for key, w := range want {
+		if got := series[key]; got != w {
+			t.Errorf("%s = %g, want %g", key, got, w)
+		}
+	}
+	// Buckets must be monotonically non-decreasing in le order (cumulative).
+	if series[`cum_seconds_bucket{site="5",le="1"}`] > series[`cum_seconds_bucket{site="5",le="2"}`] {
+		t.Error("buckets not cumulative")
+	}
+}
+
+func TestDefaultRegistryRenders(t *testing.T) {
+	// The package-level metric set must render without error and carry the
+	// skalla_ prefix throughout.
+	var b strings.Builder
+	if err := Default.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	_, types := parseExposition(t, b.String())
+	for name := range types {
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_total")
+		if !strings.HasPrefix(base, "skalla_") {
+			t.Errorf("metric %s does not follow the skalla_ naming scheme", name)
+		}
+	}
+	for _, want := range []string{
+		"skalla_coord_queries_total", "skalla_coord_rounds_total",
+		"skalla_coord_sync_merge_seconds", "skalla_transport_bytes_total",
+		"skalla_server_requests_total", "skalla_codec_encode_bytes_total",
+		"skalla_store_segment_reads_total", "skalla_engine_rows_scanned_total",
+	} {
+		if _, ok := types[want]; !ok {
+			t.Errorf("default registry missing family %s", want)
+		}
+	}
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

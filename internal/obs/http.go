@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health tracks named readiness checks. A daemon registers its checks as
+// not-ready at startup (Register) and flips them as subsystems come up; the
+// /healthz endpoint reports 200 only when every registered check is ready.
+type Health struct {
+	mu     sync.RWMutex
+	checks map[string]bool
+}
+
+// NewHealth creates an empty health tracker (vacuously ready).
+func NewHealth() *Health { return &Health{checks: make(map[string]bool)} }
+
+// Register adds a check in the not-ready state (no-op if it exists).
+func (h *Health) Register(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.checks[name]; !ok {
+		h.checks[name] = false
+	}
+}
+
+// Set records a check's readiness, registering it if needed.
+func (h *Health) Set(name string, ready bool) {
+	h.mu.Lock()
+	h.checks[name] = ready
+	h.mu.Unlock()
+}
+
+// Ready reports whether every registered check is ready, plus a snapshot of
+// the individual checks.
+func (h *Health) Ready() (bool, map[string]bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	snap := make(map[string]bool, len(h.checks))
+	all := true
+	for n, ok := range h.checks {
+		snap[n] = ok
+		all = all && ok
+	}
+	return all, snap
+}
+
+// HTTPServer is the daemons' observability listener: /metrics (Prometheus
+// text), /healthz (liveness + readiness), and the net/http/pprof handlers
+// under /debug/pprof/.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeHTTP starts the observability endpoints on addr (":0" for ephemeral).
+// reg defaults to the Default registry and health to an empty (always-ready)
+// tracker; log may be nil.
+func ServeHTTP(addr string, reg *Registry, health *Health, log *slog.Logger) (*HTTPServer, error) {
+	if reg == nil {
+		reg = Default
+	}
+	if health == nil {
+		health = NewHealth()
+	}
+	if log == nil {
+		log = Logger()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			log.Warn("metrics write failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ready, checks := health.Ready()
+		w.Header().Set("Content-Type", "application/json")
+		status := http.StatusOK
+		if !ready {
+			status = http.StatusServiceUnavailable
+		}
+		w.WriteHeader(status)
+		names := make([]string, 0, len(checks))
+		for n := range checks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		ordered := make(map[string]bool, len(checks))
+		for _, n := range names {
+			ordered[n] = checks[n]
+		}
+		state := "ok"
+		if !ready {
+			state = "unavailable"
+		}
+		json.NewEncoder(w).Encode(map[string]any{"status": state, "checks": ordered})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Warn("observability listener stopped", "err", err)
+		}
+	}()
+	log.Info("observability endpoints up", "addr", ln.Addr().String())
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

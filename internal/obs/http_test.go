@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestHealthzTransitions(t *testing.T) {
+	health := NewHealth()
+	health.Register("partition")
+	health.Register("listener")
+	srv, err := ServeHTTP("127.0.0.1:0", NewRegistry(), health, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr() + "/healthz"
+
+	code, body, _ := get(t, url)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("before readiness: status %d, want 503", code)
+	}
+	var payload struct {
+		Status string          `json:"status"`
+		Checks map[string]bool `json:"checks"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("healthz body %q: %v", body, err)
+	}
+	if payload.Status != "unavailable" || payload.Checks["partition"] {
+		t.Errorf("payload = %+v", payload)
+	}
+
+	// One check ready is not enough.
+	health.Set("partition", true)
+	if code, _, _ := get(t, url); code != http.StatusServiceUnavailable {
+		t.Errorf("partial readiness: status %d, want 503", code)
+	}
+
+	health.Set("listener", true)
+	code, body, _ = get(t, url)
+	if code != http.StatusOK {
+		t.Errorf("ready: status %d, want 200", code)
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Status != "ok" || !payload.Checks["partition"] || !payload.Checks["listener"] {
+		t.Errorf("payload = %+v", payload)
+	}
+
+	// Readiness can regress (e.g. listener closed during shutdown).
+	health.Set("listener", false)
+	if code, _, _ := get(t, url); code != http.StatusServiceUnavailable {
+		t.Errorf("after regression: status %d, want 503", code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ep_total", "endpoint test").Add(9)
+	srv, err := ServeHTTP("127.0.0.1:0", reg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body, hdr := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(body, "ep_total 9") {
+		t.Errorf("metrics body missing series:\n%s", body)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	srv, err := ServeHTTP("127.0.0.1:0", NewRegistry(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body, _ := get(t, "http://"+srv.Addr()+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("pprof index status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Error("pprof index missing profile listing")
+	}
+}
+
+func TestHealthVacuouslyReady(t *testing.T) {
+	srv, err := ServeHTTP("127.0.0.1:0", NewRegistry(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// No registered checks: an always-ready tracker is substituted.
+	if code, _, _ := get(t, "http://"+srv.Addr()+"/healthz"); code != http.StatusOK {
+		t.Errorf("status %d, want 200", code)
+	}
+}

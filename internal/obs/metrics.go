@@ -1,0 +1,81 @@
+package obs
+
+// Default is the process-wide registry every Skalla layer records into and
+// the daemons' /metrics endpoint serves.
+var Default = NewRegistry()
+
+// The Skalla metric set. Naming: skalla_<layer>_<quantity>_<unit>[_total].
+// Labels: site (site index as decimal), query (coordinator-assigned query ID,
+// "none" outside a query), direction ("down" = coordinator→site, "up" =
+// site→coordinator), kind (request kind), status/source as noted.
+var (
+	// Coordinator layer (internal/core).
+	CoordQueries = Default.CounterVec("skalla_coord_queries_total",
+		"Distributed query evaluations finished by the coordinator, by terminal status (ok, error).",
+		"status")
+	CoordActiveQueries = Default.Gauge("skalla_coord_active_queries",
+		"Distributed query evaluations currently in flight at the coordinator.")
+	CoordRounds = Default.CounterVec("skalla_coord_rounds_total",
+		"Synchronization rounds driven by the coordinator.",
+		"query")
+	CoordSyncMerge = Default.HistogramVec("skalla_coord_sync_merge_seconds",
+		"Coordinator synchronization work per merge step (one H block, local-X merge, or base union).",
+		DurationBuckets, "query")
+
+	// Transport client side (internal/transport; the coordinator's view).
+	TransportCalls = Default.CounterVec("skalla_transport_calls_total",
+		"Coordinator→site exchanges issued, by site and request kind.",
+		"site", "kind")
+	TransportBytes = Default.CounterVec("skalla_transport_bytes_total",
+		"Wire bytes per coordinator↔site exchange, by site, direction and query.",
+		"site", "direction", "query")
+	TransportRows = Default.CounterVec("skalla_transport_rows_total",
+		"Base-structure / sub-aggregate rows shipped per exchange, by site, direction and query.",
+		"site", "direction", "query")
+	SiteCompute = Default.HistogramVec("skalla_site_compute_seconds",
+		"Site-side compute time per exchange, as reported in the terminal response.",
+		DurationBuckets, "site")
+
+	// Transport server side (the site daemon's view of inbound requests).
+	ServerRequests = Default.CounterVec("skalla_server_requests_total",
+		"Requests served by this site, by request kind.",
+		"kind")
+	ServerBytes = Default.CounterVec("skalla_server_bytes_total",
+		"Connection bytes at this site, by direction (down = received, up = sent).",
+		"direction")
+	ServerActiveConns = Default.Gauge("skalla_server_active_connections",
+		"Open coordinator connections at this site.")
+
+	// Relation wire codec (internal/relation).
+	CodecEncodeBytes = Default.Counter("skalla_codec_encode_bytes_total",
+		"Bytes produced by the relation wire codec encoder (frame headers included).")
+	CodecDecodeBytes = Default.Counter("skalla_codec_decode_bytes_total",
+		"Bytes consumed by the relation wire codec decoder (frame headers included).")
+	CodecFrames = Default.CounterVec("skalla_codec_frames_total",
+		"Relation wire codec frames processed, by operation (encode, decode).",
+		"op")
+
+	// Segment store (internal/store).
+	StoreSegmentReads = Default.CounterVec("skalla_store_segment_reads_total",
+		"Table segment reads, by source (disk = decoded from file, cache = LRU hit).",
+		"source")
+	StoreSegmentRows = Default.Counter("skalla_store_segment_rows_total",
+		"Rows decoded from disk segments (cache hits excluded).")
+
+	// Site evaluation engine (internal/engine + internal/gmdj).
+	EngineEvals = Default.CounterVec("skalla_engine_evals_total",
+		"Site-side evaluations, by kind (base, operator, local).",
+		"kind")
+	EngineBlocks = Default.Counter("skalla_engine_blocks_emitted_total",
+		"H blocks emitted by site operator evaluations (row blocking counts each block).")
+	EngineRowsScanned = Default.Counter("skalla_engine_rows_scanned_total",
+		"Detail-relation rows scanned by GMDJ evaluation (base and operator passes).")
+)
+
+// QueryLabel normalizes a query ID for use as a metric label value.
+func QueryLabel(id string) string {
+	if id == "" {
+		return "none"
+	}
+	return id
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Query IDs are generated at the coordinator when an evaluation starts and
+// propagated in the wire protocol's request frames, so site-side logs and
+// metrics correlate with coordinator rounds across processes.
+
+type queryIDKey struct{}
+
+var queryIDSeq atomic.Uint64
+
+// NewQueryID returns a short process-unique query identifier: 6 random bytes
+// hex-encoded, with a sequence-number fallback if the system randomness
+// source fails.
+func NewQueryID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("q%08d", queryIDSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithQueryID tags a context with a query ID.
+func WithQueryID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, queryIDKey{}, id)
+}
+
+// QueryIDFrom extracts the query ID from a context ("" when untagged).
+func QueryIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(queryIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,441 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxSeriesPerFamily caps the number of distinct label sets one metric family
+// will materialize. Query IDs are unbounded over a daemon's lifetime; once the
+// cap is reached, new label sets share a single overflow series whose label
+// values all read "other", so exposition size stays bounded while totals stay
+// correct.
+const maxSeriesPerFamily = 1024
+
+// overflowKey marks the shared overflow child inside a vector.
+const overflowKey = "\x00overflow"
+
+// labelSep joins label values into a child key; it cannot appear in values
+// coming off the wire (values are escaped at render time, not at key time, so
+// the separator just needs to be unlikely — the unit separator byte is).
+const labelSep = "\x1f"
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: observations land in the first
+// bucket whose upper bound is >= the value (cumulative rendering happens at
+// exposition time, matching the Prometheus le convention). Sum and max are
+// tracked as float64 bit patterns updated by CAS, so Observe never locks.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Max returns the largest observed value (0 before any observation).
+func (h *Histogram) Max() float64 {
+	m := math.Float64frombits(h.maxBits.Load())
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts,
+// interpolating linearly inside the containing bucket. Values beyond the last
+// finite bound are reported as the observed max. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) { // +Inf bucket
+				return h.Max()
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			est := lo + (hi-lo)*frac
+			if mx := h.Max(); est > mx {
+				est = mx
+			}
+			return est
+		}
+		cum += n
+	}
+	return h.Max()
+}
+
+// DurationBuckets spans 10µs to ~40s exponentially — the range of site
+// compute, merge, and round times the evaluation measures.
+var DurationBuckets = expBuckets(10e-6, 2.5, 17)
+
+// ByteBuckets spans 64B to 1GiB in powers of four — message and frame sizes.
+var ByteBuckets = expBuckets(64, 4, 13)
+
+func expBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// metricKind discriminates family types for exposition.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one registered metric name: either a single unlabeled metric or a
+// vector of children keyed by label values.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+	bounds []float64 // histograms only
+
+	mu       sync.RWMutex
+	single   any            // *Counter / *Gauge / *Histogram when unlabeled
+	children map[string]any // label-joined key -> child metric
+}
+
+func (f *family) child(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.RLock()
+	m, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		return m
+	}
+	if len(f.children) >= maxSeriesPerFamily {
+		key = overflowKey
+		if m, ok := f.children[key]; ok {
+			return m
+		}
+	}
+	m = f.newMetric()
+	f.children[key] = m
+	return m
+}
+
+func (f *family) newMetric() any {
+	switch f.kind {
+	case kindCounter:
+		return &Counter{}
+	case kindGauge:
+		return &Gauge{}
+	default:
+		return newHistogram(f.bounds)
+	}
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on first
+// use. The handle is stable: resolve once per call site, then Add freely.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).(*Counter) }
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).(*Histogram) }
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Families register once (usually at package init);
+// re-registering a name returns the existing family when the shape matches
+// and panics when it does not (a programming error, not a runtime condition).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: append([]string(nil), labels...), bounds: bounds}
+	if len(labels) == 0 {
+		f.single = f.newMetric()
+	} else {
+		f.children = make(map[string]any)
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil).single.(*Counter)
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, labels, nil)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil).single.(*Gauge)
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, labels, nil)}
+}
+
+// Histogram registers (or fetches) an unlabeled histogram with the given
+// bucket upper bounds (nil uses DurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	return r.register(name, help, kindHistogram, nil, bounds).single.(*Histogram)
+}
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	return &HistogramVec{r.register(name, help, kindHistogram, labels, bounds)}
+}
+
+// WriteText renders every family in the Prometheus text exposition format
+// (version 0.0.4), families and series in deterministic sorted order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		if f.single != nil {
+			writeSeries(&b, f, "", f.single)
+		} else {
+			f.mu.RLock()
+			keys := make([]string, 0, len(f.children))
+			for k := range f.children {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			children := make([]any, len(keys))
+			for i, k := range keys {
+				children[i] = f.children[k]
+			}
+			f.mu.RUnlock()
+			for i, k := range keys {
+				writeSeries(&b, f, labelString(f.labels, k), children[i])
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// labelString renders {a="x",b="y"} from a joined child key.
+func labelString(labels []string, key string) string {
+	values := strings.Split(key, labelSep)
+	if key == overflowKey {
+		values = make([]string, len(labels))
+		for i := range values {
+			values[i] = "other"
+		}
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		// %q escapes \, " and newlines exactly as the exposition format wants.
+		fmt.Fprintf(&b, "%s=%q", l, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func writeSeries(b *strings.Builder, f *family, labels string, m any) {
+	switch mm := m.(type) {
+	case *Counter:
+		fmt.Fprintf(b, "%s%s %d\n", f.name, labels, mm.Value())
+	case *Gauge:
+		fmt.Fprintf(b, "%s%s %d\n", f.name, labels, mm.Value())
+	case *Histogram:
+		cum := int64(0)
+		for i, bound := range mm.bounds {
+			cum += mm.counts[i].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, bucketLabels(labels, formatFloat(bound)), cum)
+		}
+		cum += mm.counts[len(mm.bounds)].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, bucketLabels(labels, "+Inf"), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labels, formatFloat(mm.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, labels, mm.Count())
+	}
+}
+
+// bucketLabels splices le="bound" into an existing label set.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

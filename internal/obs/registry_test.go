@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only go up
+	c.Add(0)  // ignored
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value() = %d, want 5", got)
+	}
+	// Re-registering the same shape returns the same metric.
+	if r.Counter("test_total", "help") != c {
+		t.Error("re-registration returned a different counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("Value() = %d, want 7", got)
+	}
+}
+
+func TestRegisterShapeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_total", "help")
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{1, 10, 100})
+	// A value equal to a bound must land in that bound's bucket (le is
+	// inclusive in the exposition format).
+	h.Observe(1)
+	h.Observe(0.5)
+	h.Observe(10)
+	h.Observe(50)
+	h.Observe(1000) // +Inf bucket
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count() = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 1061.5 {
+		t.Errorf("Sum() = %g, want 1061.5", got)
+	}
+	if got := h.Max(); got != 1000 {
+		t.Errorf("Max() = %g, want 1000", got)
+	}
+	want := []int64{2, 1, 1, 1} // (..1], (1..10], (10..100], (100..+Inf)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{1})
+	if h.Max() != 0 || h.Quantile(0.5) != 0 || h.Sum() != 0 || h.Count() != 0 {
+		t.Errorf("empty histogram: max=%g q50=%g sum=%g count=%d, want all zero",
+			h.Max(), h.Quantile(0.5), h.Sum(), h.Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{10, 20, 30, 40})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i%40) + 0.5)
+	}
+	q50 := h.Quantile(0.5)
+	if q50 < 10 || q50 > 30 {
+		t.Errorf("Quantile(0.5) = %g, want within [10, 30]", q50)
+	}
+	// Quantiles never exceed the observed max.
+	if q := h.Quantile(1); q > h.Max() {
+		t.Errorf("Quantile(1) = %g > Max %g", q, h.Max())
+	}
+}
+
+func TestHistogramQuantileInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{1})
+	h.Observe(7) // +Inf bucket only
+	if got := h.Quantile(0.5); got != 7 {
+		t.Errorf("Quantile(0.5) = %g, want observed max 7", got)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{0.001, 1})
+	h.ObserveDuration(500 * time.Millisecond)
+	if got := h.Sum(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Sum() = %g, want 0.5", got)
+	}
+}
+
+func TestVecHandleStability(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_total", "help", "site", "kind")
+	a := v.With("0", "base")
+	b := v.With("0", "base")
+	if a != b {
+		t.Error("With returned different handles for the same labels")
+	}
+	if v.With("1", "base") == a {
+		t.Error("distinct labels shared a handle")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("handle does not share state")
+	}
+}
+
+func TestVecLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_total", "help", "site")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	v.With("0", "extra")
+}
+
+func TestVecOverflowCap(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_total", "help", "query")
+	for i := 0; i < maxSeriesPerFamily+50; i++ {
+		v.With(fmt.Sprintf("q%d", i)).Inc()
+	}
+	// Every add beyond the cap lands in the shared overflow series.
+	over := v.With("one-more")
+	if over != v.With("and-another") {
+		t.Error("overflow label sets did not collapse into one series")
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `query="other"`) {
+		t.Error("overflow series not rendered with label value \"other\"")
+	}
+	// Totals stay correct: cap + 1 overflow series.
+	lines := strings.Count(b.String(), "\ntest_total{")
+	if lines != maxSeriesPerFamily+1 {
+		t.Errorf("rendered %d series, want %d", lines, maxSeriesPerFamily+1)
+	}
+}
+
+func TestConcurrentRegistryAccess(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_total", "help", "worker")
+	h := r.HistogramVec("test_seconds", "help", []float64{0.01, 1}, "worker")
+	g := r.Gauge("test_gauge", "help")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := fmt.Sprintf("%d", w%4)
+			for i := 0; i < 1000; i++ {
+				v.With(label).Inc()
+				h.With(label).Observe(float64(i) / 100)
+				g.Add(1)
+			}
+		}(w)
+	}
+	// Concurrent exposition while writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WriteText(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	total := int64(0)
+	for w := 0; w < 4; w++ {
+		total += v.With(fmt.Sprintf("%d", w)).Value()
+	}
+	if total != 8000 {
+		t.Errorf("counter total = %d, want 8000", total)
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %d, want 8000", g.Value())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	for i := 1; i < len(DurationBuckets); i++ {
+		if DurationBuckets[i] <= DurationBuckets[i-1] {
+			t.Fatalf("DurationBuckets not ascending at %d", i)
+		}
+	}
+	for i := 1; i < len(ByteBuckets); i++ {
+		if ByteBuckets[i] <= ByteBuckets[i-1] {
+			t.Fatalf("ByteBuckets not ascending at %d", i)
+		}
+	}
+}

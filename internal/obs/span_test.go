@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type collectObserver struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (c *collectObserver) ObserveSpan(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func TestSpanEventOrder(t *testing.T) {
+	var obsr collectObserver
+	span := StartQuery("qtest", &obsr)
+	rs := span.StartRound("base", 0)
+	rs.Call(SiteCall{Site: 0, BytesUp: 10, RowsUp: 2})
+	rs.Call(SiteCall{Site: 1, BytesUp: 20, RowsUp: 4})
+	rs.ObserveMerge(time.Millisecond)
+	rs.End(time.Millisecond)
+	span.End(nil)
+
+	kinds := make([]EventKind, len(obsr.events))
+	for i, e := range obsr.events {
+		kinds[i] = e.Kind
+		if e.QueryID != "qtest" {
+			t.Errorf("event %d query ID = %q", i, e.QueryID)
+		}
+	}
+	want := []EventKind{EventQueryStart, EventRoundStart, EventSiteCall, EventSiteCall, EventRoundEnd, EventQueryEnd}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d events, want %d", len(kinds), len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event %d kind = %d, want %d", i, kinds[i], want[i])
+		}
+	}
+	end := obsr.events[4]
+	if end.BytesUp != 30 || len(end.Calls) != 2 {
+		t.Errorf("round end aggregates: bytesUp=%d calls=%d", end.BytesUp, len(end.Calls))
+	}
+}
+
+func TestSpanMetrics(t *testing.T) {
+	id := NewQueryID()
+	before := CoordActiveQueries.Value()
+	span := StartQuery(id)
+	if CoordActiveQueries.Value() != before+1 {
+		t.Error("active gauge did not rise")
+	}
+	rs := span.StartRound("MD1", 5)
+	rs.ObserveMerge(2 * time.Millisecond)
+	rs.End(2 * time.Millisecond)
+	span.End(errors.New("boom"))
+	if CoordActiveQueries.Value() != before {
+		t.Error("active gauge did not fall")
+	}
+	if got := CoordRounds.With(id).Value(); got != 1 {
+		t.Errorf("round counter = %d, want 1", got)
+	}
+	if got := CoordSyncMerge.With(id).Count(); got != 1 {
+		t.Errorf("merge histogram count = %d, want 1", got)
+	}
+	if CoordQueries.With("error").Value() == 0 {
+		t.Error("error status not counted")
+	}
+}
+
+func TestLineObserverFormat(t *testing.T) {
+	var b strings.Builder
+	lo := NewLineObserver(&b)
+	span := StartQuery("qfmt", lo)
+	rs := span.StartRound("MD1", 7)
+	rs.Call(SiteCall{Site: 2, BytesDown: 100, RowsDown: 7, BytesUp: 50, RowsUp: 3, Compute: 120 * time.Microsecond})
+	rs.End(time.Millisecond)
+	span.End(nil)
+	got := b.String()
+	want := "round MD1: start (X holds 7 rows)\n" +
+		"round MD1: site 2  down 100B/7 rows  up 50B/3 rows  compute 120µs\n" +
+		"round MD1: done  100B down, 50B up, coordinator 1ms\n"
+	if got != want {
+		t.Errorf("line output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestLineObserverConcurrent verifies the lock granularity fix: events from
+// interleaved spans sharing one writer never split a line.
+func TestLineObserverConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	lo := NewLineObserver(w)
+	var wg sync.WaitGroup
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			span := StartQuery(NewQueryID(), lo)
+			for i := 0; i < 50; i++ {
+				rs := span.StartRound("R", i)
+				rs.Call(SiteCall{Site: q, BytesDown: 1, BytesUp: 1})
+				rs.End(0)
+			}
+			span.End(nil)
+		}(q)
+	}
+	wg.Wait()
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "round ") {
+			t.Fatalf("split or corrupt line: %q", line)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestNewQueryID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewQueryID()
+		if len(id) != 12 {
+			t.Fatalf("query ID %q has length %d, want 12", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate query ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestQueryIDContext(t *testing.T) {
+	ctx := t.Context()
+	if QueryIDFrom(ctx) != "" {
+		t.Error("untagged context has a query ID")
+	}
+	ctx = WithQueryID(ctx, "abc")
+	if QueryIDFrom(ctx) != "abc" {
+		t.Error("query ID not propagated through context")
+	}
+}
+
+func TestQueryLabel(t *testing.T) {
+	if QueryLabel("") != "none" {
+		t.Error(`QueryLabel("") != "none"`)
+	}
+	if QueryLabel("x") != "x" {
+		t.Error("QueryLabel mangled a real ID")
+	}
+}

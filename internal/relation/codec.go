@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"sync"
+
+	"skalla/internal/obs"
 )
 
 // This file implements the Skalla wire format: a hand-rolled, length-prefixed,
@@ -89,8 +91,12 @@ func (e *Encoder) Encode(r *Relation) error {
 	if _, err := e.w.Write(e.lenBuf[:n]); err != nil {
 		return err
 	}
-	_, err := e.w.Write(body)
-	return err
+	if _, err := e.w.Write(body); err != nil {
+		return err
+	}
+	obs.CodecEncodeBytes.Add(int64(n + len(body)))
+	obs.CodecFrames.With("encode").Inc()
+	return nil
 }
 
 func appendSchema(body []byte, s Schema) []byte {
@@ -270,7 +276,19 @@ func (d *Decoder) Decode() (*Relation, error) {
 	if cur.pos != len(cur.b) {
 		return nil, fmt.Errorf("relation: codec frame has %d trailing bytes", len(cur.b)-cur.pos)
 	}
+	obs.CodecDecodeBytes.Add(int64(uvarintLen(ln)) + int64(ln))
+	obs.CodecFrames.With("decode").Inc()
 	return rel, nil
+}
+
+// uvarintLen is the encoded size of the frame's length prefix.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // cursor is a bounds-checked reader over a frame body.

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"sort"
+	"time"
+)
+
+// DurationPercentiles summarizes a duration distribution with nearest-rank
+// percentiles. Durations marshal as nanoseconds, matching the rest of the
+// metrics JSON export.
+type DurationPercentiles struct {
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	Max time.Duration `json:"max"`
+}
+
+// BytePercentiles summarizes a message-size distribution with nearest-rank
+// percentiles.
+type BytePercentiles struct {
+	P50 int `json:"p50"`
+	P95 int `json:"p95"`
+	Max int `json:"max"`
+}
+
+// Summary condenses a query's per-call and per-round cost distributions to
+// the percentile figures the benchmark export reports: site computation time
+// per call, coordinator synchronization (merge) time per round, and message
+// sizes per call in each direction.
+type Summary struct {
+	SiteCompute   DurationPercentiles `json:"siteCompute"`
+	SyncMerge     DurationPercentiles `json:"syncMerge"`
+	CallBytesDown BytePercentiles     `json:"callBytesDown"`
+	CallBytesUp   BytePercentiles     `json:"callBytesUp"`
+}
+
+// Summary computes percentile summaries over the metrics' calls and rounds.
+// Empty distributions summarize to zeros.
+func (m *Metrics) Summary() Summary {
+	var computes []time.Duration
+	var merges []time.Duration
+	var down, up []int
+	for i := range m.Rounds {
+		r := &m.Rounds[i]
+		merges = append(merges, r.CoordTime)
+		for _, c := range r.Calls {
+			computes = append(computes, c.Compute)
+			down = append(down, c.BytesDown)
+			up = append(up, c.BytesUp)
+		}
+	}
+	return Summary{
+		SiteCompute:   durationPercentiles(computes),
+		SyncMerge:     durationPercentiles(merges),
+		CallBytesDown: bytePercentiles(down),
+		CallBytesUp:   bytePercentiles(up),
+	}
+}
+
+// rank returns the nearest-rank index of percentile p (0 < p ≤ 100) in a
+// sorted sample of size n.
+func rank(p float64, n int) int {
+	i := int(float64(n)*p/100+0.9999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+func durationPercentiles(vals []time.Duration) DurationPercentiles {
+	if len(vals) == 0 {
+		return DurationPercentiles{}
+	}
+	sorted := append([]time.Duration{}, vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return DurationPercentiles{
+		P50: sorted[rank(50, len(sorted))],
+		P95: sorted[rank(95, len(sorted))],
+		Max: sorted[len(sorted)-1],
+	}
+}
+
+func bytePercentiles(vals []int) BytePercentiles {
+	if len(vals) == 0 {
+		return BytePercentiles{}
+	}
+	sorted := append([]int{}, vals...)
+	sort.Ints(sorted)
+	return BytePercentiles{
+		P50: sorted[rank(50, len(sorted))],
+		P95: sorted[rank(95, len(sorted))],
+		Max: sorted[len(sorted)-1],
+	}
+}

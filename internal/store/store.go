@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"skalla/internal/obs"
 	"skalla/internal/relation"
 )
 
@@ -255,8 +256,10 @@ func (t *Table) Materialize() (*relation.Relation, error) {
 
 func (t *Table) loadSegment(seg segmentMeta) ([]relation.Tuple, error) {
 	if rows, ok := t.cache.get(seg.File); ok {
+		obs.StoreSegmentReads.With("cache").Inc()
 		return rows, nil
 	}
+	obs.StoreSegmentReads.With("disk").Inc()
 	f, err := os.Open(filepath.Join(t.dir, seg.File))
 	if err != nil {
 		return nil, err
@@ -282,6 +285,7 @@ func (t *Table) loadSegment(seg segmentMeta) ([]relation.Tuple, error) {
 	if len(rows) != seg.Rows {
 		return nil, fmt.Errorf("store: segment %s has %d rows, manifest says %d", seg.File, len(rows), seg.Rows)
 	}
+	obs.StoreSegmentRows.Add(int64(len(rows)))
 	t.cache.put(seg.File, rows)
 	return rows, nil
 }

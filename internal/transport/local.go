@@ -11,6 +11,7 @@ import (
 
 	"skalla/internal/engine"
 	"skalla/internal/gmdj"
+	"skalla/internal/obs"
 	"skalla/internal/relation"
 	"skalla/internal/stats"
 )
@@ -55,6 +56,7 @@ func (l *LocalSite) roundTrip(ctx context.Context, req *Request) (*Response, sta
 	if err := ctx.Err(); err != nil {
 		return nil, stats.Call{}, err
 	}
+	req.QueryID = obs.QueryIDFrom(ctx)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.downEnc.Encode(req); err != nil {
@@ -75,6 +77,7 @@ func (l *LocalSite) roundTrip(ctx context.Context, req *Request) (*Response, sta
 		return nil, stats.Call{}, fmt.Errorf("transport: decode response: %w", err)
 	}
 	call := callFromSizes(l.site.ID(), req, &decResp, down, up)
+	recordCall(call, req.Kind, req.QueryID)
 	if decResp.Err != "" {
 		return nil, call, errors.New(decResp.Err)
 	}
@@ -105,7 +108,7 @@ func (l *LocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorR
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	wireReq := &Request{Kind: KindOperator, Operator: &req}
+	wireReq := &Request{Kind: KindOperator, QueryID: obs.QueryIDFrom(ctx), Operator: &req}
 	if err := l.downEnc.Encode(wireReq); err != nil {
 		return stats.Call{}, fmt.Errorf("transport: encode request: %w", err)
 	}
@@ -118,6 +121,9 @@ func (l *LocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorR
 	if err := l.downDec.Decode(&decReq); err != nil {
 		return call, fmt.Errorf("transport: decode request: %w", err)
 	}
+	// The serving end of the emulated connection: count the request like the
+	// TCP server's stream path does.
+	obs.ServerRequests.With("operator").Inc()
 	// Fresh stream codecs per request: the schema is shipped on the first
 	// block of the stream and cached for the rest.
 	enc := relation.NewEncoder(&l.upBuf)
@@ -150,6 +156,7 @@ func (l *LocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorR
 	if err := l.upDec.Decode(&term); err != nil {
 		return call, err
 	}
+	recordCall(call, KindOperator, wireReq.QueryID)
 	return call, nil
 }
 

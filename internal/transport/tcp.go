@@ -6,13 +6,14 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"skalla/internal/engine"
 	"skalla/internal/gmdj"
+	"skalla/internal/obs"
 	"skalla/internal/relation"
 	"skalla/internal/stats"
 )
@@ -33,6 +34,7 @@ const (
 type Server struct {
 	site Backend
 	ln   net.Listener
+	log  *slog.Logger
 
 	mu     sync.Mutex
 	closed bool
@@ -48,7 +50,12 @@ func Serve(site Backend, addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{site: site, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		site:  site,
+		ln:    ln,
+		log:   obs.Logger().With("site", site.ID()),
+		conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -94,31 +101,48 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
+func (s *Server) handle(rawConn net.Conn) {
 	defer s.wg.Done()
+	log := s.log.With("remote", rawConn.RemoteAddr().String())
+	obs.ServerActiveConns.Add(1)
+	log.Debug("connection open")
 	defer func() {
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, rawConn)
 		s.mu.Unlock()
-		conn.Close()
+		rawConn.Close()
+		obs.ServerActiveConns.Add(-1)
+		log.Debug("connection closed")
 	}()
+	// Count connection bytes in both directions; deltas per request feed the
+	// server-side byte counters.
+	conn := &countingConn{Conn: rawConn}
+	bytesDown := obs.ServerBytes.With("down")
+	bytesUp := obs.ServerBytes.With("up")
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		r0, w0 := conn.read, conn.written
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed or corrupt stream
 		}
 		if req.Kind == KindOperator {
-			if err := s.streamOperator(conn, enc, &req); err != nil {
-				log.Printf("skalla site %d: stream response: %v", s.site.ID(), err)
+			err := s.streamOperator(conn, enc, &req)
+			bytesDown.Add(conn.read - r0)
+			bytesUp.Add(conn.written - w0)
+			if err != nil {
+				log.Warn("stream response failed", "query", req.QueryID, "err", err)
 				return
 			}
 			continue
 		}
 		resp := dispatch(s.site, &req)
-		if err := enc.Encode(resp); err != nil {
-			log.Printf("skalla site %d: encode response: %v", s.site.ID(), err)
+		err := enc.Encode(resp)
+		bytesDown.Add(conn.read - r0)
+		bytesUp.Add(conn.written - w0)
+		if err != nil {
+			log.Warn("encode response failed", "kind", kindName(req.Kind), "err", err)
 			return
 		}
 	}
@@ -128,6 +152,7 @@ func (s *Server) handle(conn net.Conn) {
 // marker plus a codec frame per H_i block and a terminal gob response
 // carrying the compute time and any evaluation error.
 func (s *Server) streamOperator(conn net.Conn, enc *gob.Encoder, req *Request) error {
+	obs.ServerRequests.With(kindName(KindOperator)).Inc()
 	start := time.Now()
 	var evalErr error
 	if req.Operator == nil {
@@ -148,6 +173,7 @@ func (s *Server) streamOperator(conn net.Conn, enc *gob.Encoder, req *Request) e
 	term := &Response{SiteID: s.site.ID(), ComputeNS: time.Since(start).Nanoseconds()}
 	if evalErr != nil {
 		term.Err = evalErr.Error()
+		s.log.Debug("operator eval failed", "query", req.QueryID, "err", evalErr)
 	}
 	return enc.Encode(term)
 }
@@ -221,6 +247,7 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, stats.Call, error) {
+	req.QueryID = obs.QueryIDFrom(ctx)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
@@ -239,6 +266,7 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, stats.
 		return nil, stats.Call{}, fmt.Errorf("transport: receive: %w", err)
 	}
 	call := callFromSizes(c.id, req, &resp, int(c.conn.written-w0), int(c.conn.read-r0))
+	recordCall(call, req.Kind, req.QueryID)
 	if resp.Err != "" {
 		return nil, call, errors.New(resp.Err)
 	}
@@ -272,7 +300,7 @@ func (c *Client) EvalOperatorStream(ctx context.Context, req engine.OperatorRequ
 		defer c.conn.SetDeadline(time.Time{})
 	}
 	r0, w0 := c.conn.read, c.conn.written
-	wireReq := &Request{Kind: KindOperator, Operator: &req}
+	wireReq := &Request{Kind: KindOperator, QueryID: obs.QueryIDFrom(ctx), Operator: &req}
 	if err := c.enc.Encode(wireReq); err != nil {
 		return stats.Call{}, fmt.Errorf("transport: send: %w", err)
 	}
@@ -305,6 +333,7 @@ func (c *Client) EvalOperatorStream(ctx context.Context, req engine.OperatorRequ
 			call.Compute = time.Duration(resp.ComputeNS)
 			call.BytesDown = int(c.conn.written - w0)
 			call.BytesUp = int(c.conn.read - r0)
+			recordCall(call, KindOperator, wireReq.QueryID)
 			if resp.Err != "" {
 				return call, errors.New(resp.Err)
 			}

@@ -2,10 +2,12 @@ package transport
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"skalla/internal/engine"
 	"skalla/internal/gmdj"
+	"skalla/internal/obs"
 	"skalla/internal/relation"
 	"skalla/internal/stats"
 )
@@ -30,9 +32,13 @@ const (
 	KindTables
 )
 
-// Request is the wire request envelope.
+// Request is the wire request envelope. QueryID carries the coordinator's
+// query identifier to the site so remote logs and metrics correlate with
+// coordinator rounds; gob tolerates it missing (old peers) in either
+// direction, so the protocol stays compatible.
 type Request struct {
 	Kind     ReqKind
+	QueryID  string
 	Base     *gmdj.BaseQuery
 	Operator *engine.OperatorRequest
 	Local    *engine.LocalRequest
@@ -88,6 +94,7 @@ func collectBlocks(b Backend, req engine.OperatorRequest) (*relation.Relation, e
 
 // dispatch executes a request against a backend, measuring compute time.
 func dispatch(site Backend, req *Request) *Response {
+	obs.ServerRequests.With(kindName(req.Kind)).Inc()
 	start := time.Now()
 	resp := &Response{SiteID: site.ID()}
 	var err error
@@ -155,4 +162,39 @@ func callFromSizes(site int, req *Request, resp *Response, down, up int) stats.C
 		RowsUp:    respRows(resp),
 		Compute:   time.Duration(resp.ComputeNS),
 	}
+}
+
+// kindName names a request kind for metric labels and logs.
+func kindName(k ReqKind) string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindBase:
+		return "base"
+	case KindOperator:
+		return "operator"
+	case KindLocal:
+		return "local"
+	case KindSchema:
+		return "schema"
+	case KindLoad:
+		return "load"
+	case KindTables:
+		return "tables"
+	}
+	return "unknown"
+}
+
+// recordCall folds one completed coordinator↔site exchange into the obs
+// registry: bytes and rows in both directions (labeled site + query) and the
+// site compute histogram. Runs once per call, never per row.
+func recordCall(call stats.Call, kind ReqKind, queryID string) {
+	site := strconv.Itoa(call.Site)
+	q := obs.QueryLabel(queryID)
+	obs.TransportCalls.With(site, kindName(kind)).Inc()
+	obs.TransportBytes.With(site, "down", q).Add(int64(call.BytesDown))
+	obs.TransportBytes.With(site, "up", q).Add(int64(call.BytesUp))
+	obs.TransportRows.With(site, "down", q).Add(int64(call.RowsDown))
+	obs.TransportRows.With(site, "up", q).Add(int64(call.RowsUp))
+	obs.SiteCompute.With(site).ObserveDuration(call.Compute)
 }

@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# End-to-end smoke test: build the binaries, generate a tiny dataset, start a
+# site with observability endpoints, run one distributed query through the
+# coordinator, and assert /healthz and /metrics look right.
+set -eu
+
+workdir=$(mktemp -d)
+site_pid=""
+trap 'kill $site_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+echo "==> build"
+mkdir -p "$workdir/bin"
+go build -o "$workdir/bin/" ./cmd/...
+
+echo "==> generate dataset"
+"$workdir/bin/tpcgen" -out "$workdir/tpcr" -kind tpc -sites 2 -rows 2000 \
+  -customers 500 -seed 1
+
+echo "==> start site"
+"$workdir/bin/skalla-site" -addr 127.0.0.1:7471 -site 0 -data "$workdir/tpcr" \
+  -obs-addr 127.0.0.1:9471 -log-level info &
+site_pid=$!
+
+echo "==> wait for readiness"
+ready=""
+for _ in $(seq 1 50); do
+  if curl -sf http://127.0.0.1:9471/healthz >/dev/null 2>&1; then
+    ready=yes
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$ready" ] || { echo "site never became ready"; exit 1; }
+curl -s http://127.0.0.1:9471/healthz | grep -q '"status":"ok"' \
+  || { echo "healthz not ok"; exit 1; }
+
+echo "==> run query"
+"$workdir/bin/skalla-coordinator" -sites 127.0.0.1:7471 -data "$workdir/tpcr" \
+  -q 'base TPCR key NationKey
+op B.NationKey = R.NationKey :: count(*) as items, avg(ExtendedPrice) as avgPrice' \
+  -opts none -stats-json "$workdir/stats.json"
+
+grep -q '"summary"' "$workdir/stats.json" \
+  || { echo "stats JSON missing summary"; exit 1; }
+
+echo "==> check metrics"
+metrics=$(curl -s http://127.0.0.1:9471/metrics)
+for family in \
+  skalla_server_requests_total \
+  skalla_server_bytes_total \
+  skalla_codec_encode_bytes_total \
+  skalla_engine_evals_total; do
+  echo "$metrics" | grep -q "^$family" \
+    || { echo "metrics missing $family"; exit 1; }
+done
+# The served base request must be counted.
+echo "$metrics" | grep 'skalla_server_requests_total{kind="base"}' \
+  | grep -qv ' 0$' || { echo "base request not counted"; exit 1; }
+
+echo "==> shut down"
+kill $site_pid
+wait $site_pid 2>/dev/null || true
+echo "smoke test passed"
