@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"skalla"
 	"skalla/internal/egil"
@@ -41,22 +42,24 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("skalla-coordinator", flag.ContinueOnError)
 	var (
-		sitesFlag = fs.String("sites", "", "comma-separated site addresses (required)")
-		data      = fs.String("data", "", "dataset directory (manifest → distribution catalog)")
-		queryFile = fs.String("query", "", "query file in the skalla text format")
-		queryText = fs.String("q", "", "inline query text (alternative to -query)")
-		sqlText   = fs.String("sql", "", "inline SQL-style OLAP statement (SELECT ... GROUP BY / CUBE BY ...)")
-		blockRows = fs.Int("block-rows", 0, "row blocking: sites return H in blocks of this many rows (0 = off)")
-		optsFlag  = fs.String("opts", "all", "optimizations: all, none, or a comma list of coalesce,group-site,group-coord,sync")
-		explain   = fs.Bool("explain", false, "print the plan without executing")
-		replFlag  = fs.Bool("repl", false, "interactive mode: read statements from stdin")
-		netFlag   = fs.String("net", "none", "network model for response-time reporting: none or lan")
-		maxRows   = fs.Int("max-rows", 20, "result rows to print")
-		statsJSON = fs.String("stats-json", "", "also write the execution metrics as JSON to this file")
-		trace     = fs.Bool("trace", false, "stream per-round execution progress while the query runs")
-		obsAddr   = fs.String("obs-addr", "", "observability listen address for /metrics, /healthz and /debug/pprof (empty = disabled)")
-		logLevel  = fs.String("log-level", "warn", "log level: debug, info, warn or error")
-		logFormat = fs.String("log-format", "text", "log format: text or json")
+		sitesFlag   = fs.String("sites", "", "comma-separated site addresses (required)")
+		data        = fs.String("data", "", "dataset directory (manifest → distribution catalog)")
+		queryFile   = fs.String("query", "", "query file in the skalla text format")
+		queryText   = fs.String("q", "", "inline query text (alternative to -query)")
+		sqlText     = fs.String("sql", "", "inline SQL-style OLAP statement (SELECT ... GROUP BY / CUBE BY ...)")
+		blockRows   = fs.Int("block-rows", 0, "row blocking: sites return H in blocks of this many rows (0 = off)")
+		siteRetries = fs.Int("site-retries", 3, "attempts per site call before the query fails (1 = no retry)")
+		siteTimeout = fs.Duration("site-timeout", 30*time.Second, "per-attempt deadline for one site call (0 = none)")
+		optsFlag    = fs.String("opts", "all", "optimizations: all, none, or a comma list of coalesce,group-site,group-coord,sync")
+		explain     = fs.Bool("explain", false, "print the plan without executing")
+		replFlag    = fs.Bool("repl", false, "interactive mode: read statements from stdin")
+		netFlag     = fs.String("net", "none", "network model for response-time reporting: none or lan")
+		maxRows     = fs.Int("max-rows", 20, "result rows to print")
+		statsJSON   = fs.String("stats-json", "", "also write the execution metrics as JSON to this file")
+		trace       = fs.Bool("trace", false, "stream per-round execution progress while the query runs")
+		obsAddr     = fs.String("obs-addr", "", "observability listen address for /metrics, /healthz and /debug/pprof (empty = disabled)")
+		logLevel    = fs.String("log-level", "warn", "log level: debug, info, warn or error")
+		logFormat   = fs.String("log-format", "text", "log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,7 +117,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	addrs := strings.Split(*sitesFlag, ",")
-	clusterOpts := []skalla.ClusterOption{skalla.WithRowBlocking(*blockRows)}
+	retry := skalla.DefaultRetryPolicy()
+	retry.MaxAttempts = *siteRetries
+	retry.CallTimeout = *siteTimeout
+	clusterOpts := []skalla.ClusterOption{
+		skalla.WithRowBlocking(*blockRows),
+		skalla.WithSiteRetry(retry),
+	}
 	if *trace {
 		clusterOpts = append(clusterOpts, skalla.WithTrace(out))
 	}

@@ -30,6 +30,7 @@ type Coordinator struct {
 	net       stats.NetModel
 	blockRows int
 	tracer    Tracer
+	retry     RetryPolicy
 }
 
 // New creates a coordinator. cat may be nil (no distribution knowledge); net
@@ -171,30 +172,37 @@ type siteResult struct {
 	err  error
 }
 
-// broadcast runs f against every site in parallel and gathers the results in
-// site order. Cancellation wins: a cancelled context is reported as ctx.Err()
-// once all calls have returned, ahead of any per-site error.
-func (c *Coordinator) broadcast(ctx context.Context, f func(i int, s transport.Site) (*relation.Relation, stats.Call, error)) ([]siteResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+// broadcast runs f against every site in parallel — each site call under the
+// coordinator's retry policy — and gathers the results in site order. The
+// per-site results are returned even when the broadcast fails, so callers can
+// record the traffic that did happen. Cancellation wins: a cancelled context
+// is reported as ctx.Err() once all calls have returned, ahead of any
+// per-site error.
+func (c *Coordinator) broadcast(ctx context.Context, rs *obs.RoundSpan, f func(ctx context.Context, i int, s transport.Site) (*relation.Relation, stats.Call, error)) ([]siteResult, error) {
 	results := make([]siteResult, len(c.sites))
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
 	var wg sync.WaitGroup
 	for i, s := range c.sites {
 		wg.Add(1)
 		go func(i int, s transport.Site) {
 			defer wg.Done()
-			rel, call, err := f(i, s)
-			results[i] = siteResult{rel: rel, call: call, err: err}
+			err := c.withRetry(ctx, rs, i, func(actx context.Context) error {
+				rel, call, err := f(actx, i, s)
+				results[i] = siteResult{rel: rel, call: call, err: err}
+				return err
+			})
+			results[i].err = err
 		}(i, s)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return results, err
 	}
 	for _, r := range results {
 		if r.err != nil {
-			return nil, r.err
+			return results, r.err
 		}
 	}
 	return results, nil
@@ -205,23 +213,29 @@ func (c *Coordinator) broadcast(ctx context.Context, f func(i int, s transport.S
 // into X_0.
 func (c *Coordinator) baseRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, span *obs.QuerySpan) error {
 	rs := span.StartRound("base", 0)
-	results, err := c.broadcast(ctx, func(_ int, s transport.Site) (*relation.Relation, stats.Call, error) {
+	results, bErr := c.broadcast(ctx, rs, func(ctx context.Context, _ int, s transport.Site) (*relation.Relation, stats.Call, error) {
 		return s.EvalBase(ctx, pl.Query.Base)
 	})
-	if err != nil {
-		return err
-	}
+	// Record the calls that completed before any merge error can bail: the
+	// traffic happened, and -stats-json must reflect it.
 	round := stats.RoundStat{Name: "base"}
-	coordStart := time.Now()
-	union := relation.New(pl.XSchemas[0])
 	for _, r := range results {
-		round.Calls = append(round.Calls, r.call)
-		if err := union.Union(r.rel); err != nil {
-			return err
+		if r.err == nil {
+			round.Calls = append(round.Calls, r.call)
 		}
 	}
-	if err := mg.InitBase(union); err != nil {
-		return err
+	coordStart := time.Now()
+	err := bErr
+	if err == nil {
+		union := relation.New(pl.XSchemas[0])
+		for _, r := range results {
+			if err = union.Union(r.rel); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = mg.InitBase(union)
+		}
 	}
 	round.CoordTime = time.Since(coordStart)
 	rs.ObserveMerge(round.CoordTime)
@@ -230,7 +244,7 @@ func (c *Coordinator) baseRound(ctx context.Context, pl *plan.Plan, mg *merger, 
 		rs.Call(obsCall(call))
 	}
 	rs.End(round.CoordTime)
-	return nil
+	return err
 }
 
 // localRound ships the query prefix to every site for local evaluation and
@@ -239,33 +253,40 @@ func (c *Coordinator) baseRound(ctx context.Context, pl *plan.Plan, mg *merger, 
 func (c *Coordinator) localRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, span *obs.QuerySpan, upTo int, name string) error {
 	rs := span.StartRound(name, 0)
 	req := engine.LocalRequest{Query: pl.Query, UpTo: upTo}
-	results, err := c.broadcast(ctx, func(_ int, s transport.Site) (*relation.Relation, stats.Call, error) {
+	results, bErr := c.broadcast(ctx, rs, func(ctx context.Context, _ int, s transport.Site) (*relation.Relation, stats.Call, error) {
 		return s.EvalLocal(ctx, req)
 	})
-	if err != nil {
-		return err
-	}
+	// As in baseRound: calls recorded before any merge error can bail.
 	round := stats.RoundStat{Name: name}
-	coordStart := time.Now()
-	if err := mg.InitLocal(upTo); err != nil {
-		return err
-	}
 	for _, r := range results {
-		round.Calls = append(round.Calls, r.call)
-		t0 := time.Now()
-		if err := mg.MergeLocal(r.rel); err != nil {
-			return err
+		if r.err == nil {
+			round.Calls = append(round.Calls, r.call)
 		}
-		rs.ObserveMerge(time.Since(t0))
 	}
-	mg.RecomputeDerived(upTo)
+	coordStart := time.Now()
+	err := bErr
+	if err == nil {
+		err = mg.InitLocal(upTo)
+	}
+	if err == nil {
+		for _, r := range results {
+			t0 := time.Now()
+			if err = mg.MergeLocal(r.rel); err != nil {
+				break
+			}
+			rs.ObserveMerge(time.Since(t0))
+		}
+	}
+	if err == nil {
+		mg.RecomputeDerived(upTo)
+	}
 	round.CoordTime = time.Since(coordStart)
 	metrics.AddRound(round)
 	for _, call := range round.Calls {
 		rs.Call(obsCall(call))
 	}
 	rs.End(round.CoordTime)
-	return nil
+	return err
 }
 
 // operatorRound is one round of Alg. GMDJDistribEval for operator k: the
@@ -274,9 +295,12 @@ func (c *Coordinator) localRound(ctx context.Context, pl *plan.Plan, mg *merger,
 // (guard-filtered per Prop. 1 when enabled), and the coordinator
 // synchronizes the H_i into X.
 //
-// Synchronization is streaming (Sect. 3.2): each site's H_i — in row blocks
-// when row blocking is on — is merged as it arrives, while slower sites are
-// still computing. The key-indexed merge makes each block O(|block|).
+// Synchronization is streaming (Sect. 3.2) and fault-tolerant: each site's
+// H_i blocks — as they arrive, while slower sites are still computing — are
+// validated and staged in a per-site buffer, and a completed stream is
+// committed into X with one O(|H_i|) key-indexed merge. Staging is what
+// makes the per-site retry policy sound: a stream that dies after partial
+// blocks is discarded whole and re-run without double-counting into X.
 func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, span *obs.QuerySpan, k int) error {
 	op := pl.Query.Ops[k]
 	roundName := fmt.Sprintf("MD%d", k+1)
@@ -290,7 +314,7 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 		reducers = pl.Reducers[k]
 	}
 
-	// Extend X with the operator's identity columns before any block lands.
+	// Extend X with the operator's identity columns before any stage lands.
 	var coordTime time.Duration
 	t0 := time.Now()
 	if err := mg.Extend(); err != nil {
@@ -298,7 +322,7 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 	}
 	coordTime += time.Since(t0)
 
-	blocks := make(chan *relation.Relation, 2*len(c.sites))
+	stages := make(chan *hStage, len(c.sites))
 	calls := make([]stats.Call, len(c.sites))
 	errs := make([]error, len(c.sites))
 	var wg sync.WaitGroup
@@ -308,7 +332,8 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 			defer wg.Done()
 			// Thm. 4 fragment reduction runs here, in each site's own
 			// goroutine, so the O(sites × |X|) predicate evaluation
-			// parallelizes instead of serializing the round's start.
+			// parallelizes instead of serializing the round's start. It is
+			// deterministic, so retries reuse the same fragment.
 			frag := snap
 			if reducers != nil {
 				pred := reducers[i]
@@ -325,59 +350,75 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 				}
 				frag = f
 			}
-			call, err := s.EvalOperatorStream(ctx, engine.OperatorRequest{
+			req := engine.OperatorRequest{
 				Base:      frag,
 				Op:        op,
 				Keys:      pl.Keys(),
 				Guard:     pl.Opts.GroupReduceSite,
 				BlockRows: c.blockRows,
-			}, func(block *relation.Relation) error {
-				// A cancelled query must not wedge the site goroutines on a
-				// full channel: fail the stream instead of waiting forever.
+			}
+			errs[i] = c.withRetry(ctx, rs, i, func(actx context.Context) error {
+				st := mg.NewStage(k)
+				call, err := s.EvalOperatorStream(actx, req, func(block *relation.Relation) error {
+					// End a cancelled query's streams promptly instead of
+					// computing and staging the rest for nothing.
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					if err := st.Add(block); err != nil {
+						return &permanentError{err}
+					}
+					return nil
+				})
+				calls[i] = call
+				if err != nil {
+					st.Discard()
+					return err
+				}
 				select {
-				case blocks <- block:
+				case stages <- st:
 					return nil
 				case <-ctx.Done():
+					st.Discard()
 					return ctx.Err()
 				}
 			})
-			calls[i], errs[i] = call, err
 		}(i, s)
 	}
 	go func() {
 		wg.Wait()
-		close(blocks)
+		close(stages)
 	}()
 
 	var mergeErr error
-	for b := range blocks {
+	for st := range stages {
 		if mergeErr != nil || ctx.Err() != nil {
-			relation.Recycle(b)
+			st.Discard()
 			continue // drain so senders never block; cancelled streams end fast
 		}
 		t0 := time.Now()
-		mergeErr = mg.MergeH(b, k)
+		mergeErr = mg.CommitStage(st, k)
 		d := time.Since(t0)
 		coordTime += d
 		rs.ObserveMerge(d)
-		// The block's rows are fully folded into X; hand its storage back to
-		// the transport's decode pool.
-		relation.Recycle(b)
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	if mergeErr != nil {
-		return mergeErr
 	}
 
 	t0 = time.Now()
-	mg.RecomputeDerived(k + 1)
+	err := ctx.Err()
+	if err == nil {
+		for _, e := range errs {
+			if e != nil {
+				err = e
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = mergeErr
+	}
+	if err == nil {
+		mg.RecomputeDerived(k + 1)
+	}
 	coordTime += time.Since(t0)
 	round := stats.RoundStat{Name: roundName, Calls: calls, CoordTime: coordTime}
 	metrics.AddRound(round)
@@ -385,7 +426,7 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 		rs.Call(obsCall(call))
 	}
 	rs.End(coordTime)
-	return nil
+	return err
 }
 
 // TrafficBound computes the Theorem 2 bound on the number of base-structure

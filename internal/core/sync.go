@@ -147,25 +147,19 @@ func (m *merger) identityFor(k int) relation.Tuple {
 	return ident
 }
 
-// MergeH synchronizes one site's sub-aggregate relation H_i for operator k
-// into X. H rows carry the key attributes followed by the operator's
-// physical columns; rows for unknown keys are an internal error (fragments
-// are derived from X, so every returned key must exist).
-func (m *merger) MergeH(h *relation.Relation, k int) error {
-	if k != m.extended-1 {
-		return fmt.Errorf("core: merging operator %d into X extended to %d", k+1, m.extended)
-	}
-	// Validate the incoming schema: key attributes in key order, followed by
-	// the operator's physical columns. A site returning anything else (bug
-	// or corruption) must be rejected, not merged.
-	want := len(m.keys)
-	for _, seg := range m.segs[k] {
+// validateH checks one incoming H relation against the expected shape for an
+// operator's segments: key attributes in key order, followed by the
+// operator's physical columns, every row at full arity. A site returning
+// anything else (bug or corruption) must be rejected, not merged.
+func validateH(h *relation.Relation, keys []string, segs []varSegment) error {
+	want := len(keys)
+	for _, seg := range segs {
 		want += len(seg.layout.Phys)
 	}
 	if len(h.Schema) != want {
 		return fmt.Errorf("core: sync: H has %d columns, want %d", len(h.Schema), want)
 	}
-	for i, key := range m.keys {
+	for i, key := range keys {
 		if h.Schema[i].Name != key {
 			return fmt.Errorf("core: sync: H column %d is %q, want key %q", i, h.Schema[i].Name, key)
 		}
@@ -174,6 +168,20 @@ func (m *merger) MergeH(h *relation.Relation, k int) error {
 		if len(t) != want {
 			return fmt.Errorf("core: sync: H row %d has arity %d, want %d", i, len(t), want)
 		}
+	}
+	return nil
+}
+
+// MergeH synchronizes one site's sub-aggregate relation H_i for operator k
+// into X. H rows carry the key attributes followed by the operator's
+// physical columns; rows for unknown keys are an internal error (fragments
+// are derived from X, so every returned key must exist).
+func (m *merger) MergeH(h *relation.Relation, k int) error {
+	if k != m.extended-1 {
+		return fmt.Errorf("core: merging operator %d into X extended to %d", k+1, m.extended)
+	}
+	if err := validateH(h, m.keys, m.segs[k]); err != nil {
+		return err
 	}
 	hKeyIdx := make([]int, len(m.keys))
 	for i := range m.keys {
@@ -195,6 +203,74 @@ func (m *merger) MergeH(h *relation.Relation, k int) error {
 		}
 	}
 	return nil
+}
+
+// hStage buffers one site's streamed H_i blocks for a single operator-round
+// attempt without touching X. This is what makes per-site retry sound: MergeH
+// folds aggregates into X in place, so a stream that dies after some blocks
+// were merged could not be re-run without double-counting. Instead every
+// block is validated and staged here, and only a stream that completed
+// cleanly is committed to X — a failed attempt is discarded whole (returning
+// any pooled block storage) and retried from scratch.
+//
+// Stages are created and filled in the per-site goroutines (they touch no
+// merger state beyond the immutable keys/segments) and committed one at a
+// time on the coordinator's merge loop.
+type hStage struct {
+	keys []string
+	segs []varSegment
+	rel  *relation.Relation   // accumulated H rows; schema from the first block
+	pool []*relation.Relation // staged blocks whose storage is recycled on release
+}
+
+// NewStage opens a staging buffer for one site's operator-k stream.
+func (m *merger) NewStage(k int) *hStage {
+	return &hStage{keys: m.keys, segs: m.segs[k]}
+}
+
+// Add validates and stages one H block. The block's tuples are referenced,
+// not copied, so the block must stay untouched until Commit or Discard (both
+// recycle it back to its pool).
+func (st *hStage) Add(h *relation.Relation) error {
+	if err := validateH(h, st.keys, st.segs); err != nil {
+		return err
+	}
+	if st.rel == nil {
+		st.rel = &relation.Relation{Schema: h.Schema}
+	} else if !h.Schema.Equal(st.rel.Schema) {
+		return fmt.Errorf("core: sync: H block schema %s differs from stream schema %s", h.Schema, st.rel.Schema)
+	}
+	st.rel.Tuples = append(st.rel.Tuples, h.Tuples...)
+	st.pool = append(st.pool, h)
+	return nil
+}
+
+// Rows returns the number of staged H rows.
+func (st *hStage) Rows() int {
+	if st.rel == nil {
+		return 0
+	}
+	return st.rel.Len()
+}
+
+// Discard drops the staged rows and returns block storage to the decode
+// pool; the stage must not be used afterwards.
+func (st *hStage) Discard() {
+	for _, b := range st.pool {
+		relation.Recycle(b)
+	}
+	st.pool, st.rel = nil, nil
+}
+
+// CommitStage folds one completed stream's staged H rows into X and releases
+// the stage. Validation already ran per block, so this is the same O(|H|)
+// key-indexed merge as MergeH.
+func (m *merger) CommitStage(st *hStage, k int) error {
+	defer st.Discard()
+	if st.rel == nil {
+		return nil // empty stream: the site had no matching groups
+	}
+	return m.MergeH(st.rel, k)
 }
 
 // MergeLocal synchronizes one site's locally evaluated X fragment (schema =

@@ -21,6 +21,9 @@ var (
 	CoordSyncMerge = Default.HistogramVec("skalla_coord_sync_merge_seconds",
 		"Coordinator synchronization work per merge step (one H block, local-X merge, or base union).",
 		DurationBuckets, "query")
+	CoordRetries = Default.CounterVec("skalla_coord_site_retries_total",
+		"Site-call attempts the coordinator retried after a transient failure, by site.",
+		"site")
 
 	// Transport client side (internal/transport; the coordinator's view).
 	TransportCalls = Default.CounterVec("skalla_transport_calls_total",
@@ -35,6 +38,12 @@ var (
 	SiteCompute = Default.HistogramVec("skalla_site_compute_seconds",
 		"Site-side compute time per exchange, as reported in the terminal response.",
 		DurationBuckets, "site")
+	SiteBroken = Default.GaugeVec("skalla_transport_site_broken",
+		"Whether the client connection to a site is poisoned and awaiting redial (1) or healthy (0).",
+		"site")
+	TransportRedials = Default.CounterVec("skalla_transport_redials_total",
+		"Reconnection attempts after a broken site connection, by site and outcome (ok, error).",
+		"site", "status")
 
 	// Transport server side (the site daemon's view of inbound requests).
 	ServerRequests = Default.CounterVec("skalla_server_requests_total",

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -40,6 +41,9 @@ const (
 	EventRoundEnd
 	// EventQueryEnd closes a query span.
 	EventQueryEnd
+	// EventSiteRetry reports one failed site-call attempt that the
+	// coordinator is about to retry (the round continues).
+	EventSiteRetry
 )
 
 // Event is one span notification. Fields are populated per kind: Round/XRows
@@ -52,6 +56,8 @@ type Event struct {
 	XRows     int
 	Call      SiteCall
 	Calls     []SiteCall
+	Site      int // site index for retry events
+	Attempt   int // failed attempt number for retry events (1-based)
 	BytesDown int
 	BytesUp   int
 	CoordTime time.Duration
@@ -168,6 +174,17 @@ func (r *RoundSpan) Call(c SiteCall) {
 	r.q.emit(Event{Kind: EventSiteCall, QueryID: r.q.id, Round: r.name, Call: c})
 }
 
+// Retry records one failed site-call attempt that the coordinator will retry:
+// the retry counter increments, a warn line is logged, and observers receive
+// EventSiteRetry (so traces show each attempt, not just the final outcome).
+func (r *RoundSpan) Retry(site, attempt int, err error) {
+	CoordRetries.With(strconv.Itoa(site)).Inc()
+	Logger().Warn("site call retry", "query", r.q.id, "round", r.name,
+		"site", site, "attempt", attempt, "err", err)
+	r.q.emit(Event{Kind: EventSiteRetry, QueryID: r.q.id, Round: r.name,
+		Site: site, Attempt: attempt, Err: err.Error()})
+}
+
 // ObserveMerge records one coordinator synchronization step (an H-block
 // merge, a local-X merge, or the base union) into the sync-merge histogram.
 func (r *RoundSpan) ObserveMerge(d time.Duration) {
@@ -233,6 +250,9 @@ func RenderEvent(e Event) string {
 	case EventRoundEnd:
 		return fmt.Sprintf("round %s: done  %dB down, %dB up, coordinator %s\n",
 			e.Round, e.BytesDown, e.BytesUp, e.CoordTime.Round(10*time.Microsecond))
+	case EventSiteRetry:
+		return fmt.Sprintf("round %s: site %d attempt %d failed (%s), retrying\n",
+			e.Round, e.Site, e.Attempt, e.Err)
 	default:
 		return ""
 	}

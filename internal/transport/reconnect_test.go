@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"skalla/internal/gmdj"
+	"skalla/internal/relation"
+)
+
+// A listener that accepts connections but never answers the hello must not
+// hang Dial: the context deadline bounds the whole handshake.
+func TestDialContextDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept and say nothing
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := DialContext(ctx, ln.Addr().String()); err == nil {
+		t.Fatal("DialContext against a mute listener must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("DialContext took %v, deadline was 100ms", elapsed)
+	}
+}
+
+// A server dying mid-stream leaves the client's decode stream desynced: the
+// failing call must poison the connection, and the next call must fail fast
+// with ErrBrokenConn (after the transparent redial fails) instead of decoding
+// garbage from the old stream.
+func TestBrokenStreamPoisonsClient(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		dec, enc := gob.NewDecoder(conn), gob.NewEncoder(conn)
+		var req Request
+		if err := dec.Decode(&req); err != nil { // hello
+			return
+		}
+		enc.Encode(&Response{SiteID: 5})
+		if err := dec.Decode(&req); err != nil { // operator request
+			return
+		}
+		conn.Write([]byte{opStreamBlock}) // announce a block...
+		conn.Close()                      // ...and die mid-frame
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	cli, err := DialContext(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	_, err = cli.EvalOperatorStream(ctx, opRequest(), func(*relation.Relation) error { return nil })
+	if err == nil {
+		t.Fatal("stream against a dying server must fail")
+	}
+	if errors.Is(err, ErrBrokenConn) {
+		t.Fatalf("first failure reported ErrBrokenConn (%v); that belongs to the next call", err)
+	}
+
+	// The next call redials; the test listener never serves a second hello,
+	// so the short deadline trips and the error must identify the broken
+	// connection distinctly and promptly.
+	cctx, ccancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer ccancel()
+	start := time.Now()
+	_, _, err = cli.EvalBase(cctx, gmdj.BaseQuery{Detail: "T", Cols: []string{"g"}})
+	if !errors.Is(err, ErrBrokenConn) {
+		t.Fatalf("call on poisoned client: err = %v, want ErrBrokenConn", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("poisoned call took %v, want fast failure", elapsed)
+	}
+}
+
+// The full reconnect path: a server restart on the same address is invisible
+// to the caller — the call after the failure redials, re-handshakes, verifies
+// the site identity and succeeds.
+func TestClientReconnectsAfterServerRestart(t *testing.T) {
+	srv, err := Serve(testSite(t, 7), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	bq := gmdj.BaseQuery{Detail: "T", Cols: []string{"g"}}
+	if _, _, err := cli.EvalBase(context.Background(), bq); err != nil {
+		t.Fatalf("healthy call failed: %v", err)
+	}
+
+	// Kill the server: the in-flight connection breaks and the next call
+	// fails (poisoning the client).
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cli.EvalBase(context.Background(), bq); err == nil {
+		t.Fatal("call against dead server must fail")
+	}
+
+	// Restart on the same address: the client's next call must transparently
+	// redial and succeed.
+	srv2, err := Serve(testSite(t, 7), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	got, _, err := cli.EvalBase(context.Background(), bq)
+	if err != nil {
+		t.Fatalf("call after server restart failed: %v", err)
+	}
+	if got.Len() != 3 {
+		t.Errorf("reconnected call rows = %d, want 3", got.Len())
+	}
+	if cli.ID() != 7 {
+		t.Errorf("client ID changed to %d after reconnect", cli.ID())
+	}
+}
+
+// A reconnect that lands on a different site identity must be refused —
+// silently merging another site's fragments would corrupt results.
+func TestReconnectRejectsIdentityChange(t *testing.T) {
+	srv, err := Serve(testSite(t, 3), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bq := gmdj.BaseQuery{Detail: "T", Cols: []string{"g"}}
+	if _, _, err := cli.EvalBase(context.Background(), bq); err == nil {
+		t.Fatal("call against dead server must fail")
+	}
+
+	// Same address, different site.
+	srv2, err := Serve(testSite(t, 8), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, _, err := cli.EvalBase(ctx, bq); err == nil || !errors.Is(err, ErrBrokenConn) {
+		t.Fatalf("identity change: err = %v, want ErrBrokenConn", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -150,11 +151,15 @@ func (s *Server) handle(rawConn net.Conn) {
 
 // streamOperator evaluates an operator request with row blocking, sending a
 // marker plus a codec frame per H_i block and a terminal gob response
-// carrying the compute time and any evaluation error.
+// carrying the compute time and any evaluation error. When a block write
+// already failed, the connection is broken — the end marker and terminal
+// response are doomed too, so they are skipped and the handler exits with the
+// original write error instead of failing (and logging) twice.
 func (s *Server) streamOperator(conn net.Conn, enc *gob.Encoder, req *Request) error {
 	obs.ServerRequests.With(kindName(KindOperator)).Inc()
 	start := time.Now()
 	var evalErr error
+	connBroken := false
 	if req.Operator == nil {
 		evalErr = fmt.Errorf("transport: operator request without payload")
 	} else {
@@ -162,10 +167,18 @@ func (s *Server) streamOperator(conn net.Conn, enc *gob.Encoder, req *Request) e
 		marker := [1]byte{opStreamBlock}
 		evalErr = s.site.EvalOperatorBlocks(*req.Operator, func(block *relation.Relation) error {
 			if _, err := conn.Write(marker[:]); err != nil {
+				connBroken = true
 				return err
 			}
-			return blockEnc.Encode(block)
+			if err := blockEnc.Encode(block); err != nil {
+				connBroken = true
+				return err
+			}
+			return nil
 		})
+	}
+	if connBroken {
+		return evalErr
 	}
 	if _, err := conn.Write([]byte{opStreamEnd}); err != nil {
 		return err
@@ -196,44 +209,129 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// ErrBrokenConn marks a client whose gob stream desynced (any send or
+// receive error poisons the connection — a partially consumed stream must
+// never be reused) and whose transparent redial failed. Callers can match it
+// with errors.Is and treat the site as down.
+var ErrBrokenConn = errors.New("transport: connection broken")
+
+// defaultDialTimeout bounds Dial (including the hello round-trip) when the
+// caller supplies no context: a black-holed address must not hang forever.
+const defaultDialTimeout = 10 * time.Second
+
 // Client is a TCP Site: it connects to a Server and implements the Site
 // interface with per-call byte accounting from the connection itself.
 //
 // The client owns one buffered reader over the connection, shared between the
 // gob decoder and the relation codec decoder. gob never over-reads from an
 // io.ByteReader, so alternating the two on the same stream is safe.
+//
+// Any transport error poisons the connection: gob encoders and decoders are
+// stateful, so after a failed exchange the stream position is unknown and
+// reusing it would decode garbage. The next call transparently redials and
+// re-handshakes; if that fails, it returns an error matching ErrBrokenConn.
 type Client struct {
-	mu   sync.Mutex
-	conn *countingConn
-	br   *bufio.Reader
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	id   int
-	pool relation.BlockPool
+	addr string
+
+	mu     sync.Mutex
+	conn   *countingConn
+	br     *bufio.Reader
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	id     int
+	hasID  bool
+	broken bool
+	pool   relation.BlockPool
 }
 
 // Dial connects to a site server and performs the hello handshake to learn
-// its identity.
+// its identity, bounded by defaultDialTimeout. Use DialContext to control
+// the deadline.
 func Dial(addr string) (*Client, error) {
-	raw, err := net.Dial("tcp", addr)
-	if err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), defaultDialTimeout)
+	defer cancel()
+	return DialContext(ctx, addr)
+}
+
+// DialContext connects to a site server under the context's deadline; the
+// deadline covers the TCP connect and the hello round-trip, so a listener
+// that accepts but never responds cannot hang the coordinator.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(ctx); err != nil {
 		return nil, err
+	}
+	return c, nil
+}
+
+// connectLocked (re)establishes the connection and re-handshakes; c.mu held.
+// On a reconnect, the hello response must report the same site identity —
+// an address now serving a different site would silently corrupt results.
+func (c *Client) connectLocked(ctx context.Context) error {
+	var d net.Dialer
+	raw, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return err
 	}
 	conn := &countingConn{Conn: raw}
 	br := bufio.NewReader(conn)
-	c := &Client{
-		conn: conn,
-		br:   br,
-		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(br),
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(br)
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
 	}
-	resp, _, err := c.roundTrip(context.Background(), &Request{Kind: KindHello})
-	if err != nil {
+	req := &Request{Kind: KindHello}
+	var resp Response
+	if err := enc.Encode(req); err != nil {
 		raw.Close()
-		return nil, fmt.Errorf("transport: hello: %w", err)
+		return fmt.Errorf("transport: hello: %w", err)
 	}
-	c.id = resp.SiteID
-	return c, nil
+	if err := dec.Decode(&resp); err != nil {
+		raw.Close()
+		return fmt.Errorf("transport: hello: %w", err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if resp.Err != "" {
+		raw.Close()
+		return fmt.Errorf("transport: hello: %s", resp.Err)
+	}
+	if c.hasID && resp.SiteID != c.id {
+		raw.Close()
+		return fmt.Errorf("transport: reconnect %s: site identity changed (%d -> %d)", c.addr, c.id, resp.SiteID)
+	}
+	c.id, c.hasID = resp.SiteID, true
+	recordCall(callFromSizes(c.id, req, &resp, int(conn.written), int(conn.read)), KindHello, "")
+	c.conn, c.br, c.enc, c.dec = conn, br, enc, dec
+	c.broken = false
+	obs.SiteBroken.With(strconv.Itoa(c.id)).Set(0)
+	return nil
+}
+
+// ensureLocked returns a healthy connection, redialing a poisoned (or never
+// established) one; c.mu held. A failed redial reports ErrBrokenConn
+// immediately instead of letting the caller touch a desynced stream.
+func (c *Client) ensureLocked(ctx context.Context) error {
+	if c.conn != nil && !c.broken {
+		return nil
+	}
+	site := strconv.Itoa(c.id)
+	if err := c.connectLocked(ctx); err != nil {
+		obs.TransportRedials.With(site, "error").Inc()
+		return fmt.Errorf("%w (redial %s: %v)", ErrBrokenConn, c.addr, err)
+	}
+	obs.TransportRedials.With(site, "ok").Inc()
+	return nil
+}
+
+// poisonLocked marks the connection unusable after a transport error and
+// closes it (waking any server-side handler blocked on it); c.mu held.
+func (c *Client) poisonLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.broken = true
+	obs.SiteBroken.With(strconv.Itoa(c.id)).Set(1)
 }
 
 // ID implements Site.
@@ -243,6 +341,10 @@ func (c *Client) ID() int { return c.id }
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.broken = true
+	if c.conn == nil {
+		return nil
+	}
 	return c.conn.Close()
 }
 
@@ -253,16 +355,21 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, stats.
 	if err := ctx.Err(); err != nil {
 		return nil, stats.Call{}, err
 	}
+	if err := c.ensureLocked(ctx); err != nil {
+		return nil, stats.Call{}, err
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		_ = c.conn.SetDeadline(dl)
 		defer c.conn.SetDeadline(time.Time{})
 	}
 	r0, w0 := c.conn.read, c.conn.written
 	if err := c.enc.Encode(req); err != nil {
+		c.poisonLocked()
 		return nil, stats.Call{}, fmt.Errorf("transport: send: %w", err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
+		c.poisonLocked()
 		return nil, stats.Call{}, fmt.Errorf("transport: receive: %w", err)
 	}
 	call := callFromSizes(c.id, req, &resp, int(c.conn.written-w0), int(c.conn.read-r0))
@@ -288,11 +395,16 @@ func (c *Client) EvalOperator(ctx context.Context, req engine.OperatorRequest) (
 }
 
 // EvalOperatorStream implements Site. The connection stays consistent even
-// when sink fails: remaining blocks are drained to the terminal response.
+// when sink fails: remaining blocks are drained to the terminal response. A
+// transport failure mid-stream, by contrast, leaves the stream position
+// unknown, so it poisons the connection — the next call redials.
 func (c *Client) EvalOperatorStream(ctx context.Context, req engine.OperatorRequest, sink func(*relation.Relation) error) (stats.Call, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
+		return stats.Call{}, err
+	}
+	if err := c.ensureLocked(ctx); err != nil {
 		return stats.Call{}, err
 	}
 	if dl, ok := ctx.Deadline(); ok {
@@ -302,6 +414,7 @@ func (c *Client) EvalOperatorStream(ctx context.Context, req engine.OperatorRequ
 	r0, w0 := c.conn.read, c.conn.written
 	wireReq := &Request{Kind: KindOperator, QueryID: obs.QueryIDFrom(ctx), Operator: &req}
 	if err := c.enc.Encode(wireReq); err != nil {
+		c.poisonLocked()
 		return stats.Call{}, fmt.Errorf("transport: send: %w", err)
 	}
 	call := stats.Call{Site: c.id, RowsDown: reqRows(wireReq)}
@@ -311,12 +424,14 @@ func (c *Client) EvalOperatorStream(ctx context.Context, req engine.OperatorRequ
 	for {
 		marker, err := c.br.ReadByte()
 		if err != nil {
+			c.poisonLocked()
 			return call, fmt.Errorf("transport: receive: %w", err)
 		}
 		switch marker {
 		case opStreamBlock:
 			block, err := blockDec.Decode()
 			if err != nil {
+				c.poisonLocked()
 				return call, fmt.Errorf("transport: receive block: %w", err)
 			}
 			call.RowsUp += block.Len()
@@ -328,6 +443,7 @@ func (c *Client) EvalOperatorStream(ctx context.Context, req engine.OperatorRequ
 		case opStreamEnd:
 			var resp Response
 			if err := c.dec.Decode(&resp); err != nil {
+				c.poisonLocked()
 				return call, fmt.Errorf("transport: receive: %w", err)
 			}
 			call.Compute = time.Duration(resp.ComputeNS)
@@ -339,6 +455,7 @@ func (c *Client) EvalOperatorStream(ctx context.Context, req engine.OperatorRequ
 			}
 			return call, sinkErr
 		default:
+			c.poisonLocked()
 			return call, fmt.Errorf("transport: unknown stream marker 0x%02x", marker)
 		}
 	}

@@ -73,6 +73,10 @@ type (
 	Metrics = stats.Metrics
 	// NetModel converts measured traffic into modeled communication time.
 	NetModel = stats.NetModel
+	// RetryPolicy makes per-site calls survive transient failures: attempt
+	// count, exponential backoff with jitter, per-attempt deadline. The zero
+	// value disables retries.
+	RetryPolicy = core.RetryPolicy
 	// Catalog carries distribution knowledge for the optimizer.
 	Catalog = distrib.Catalog
 	// Distribution is per-relation distribution knowledge.
@@ -95,6 +99,9 @@ var (
 	NewSchema = relation.NewSchema
 	// NewCatalog bundles distributions into a catalog.
 	NewCatalog = distrib.NewCatalog
+	// DefaultRetryPolicy is a production-shaped retry policy: three attempts,
+	// 50 ms initial backoff capped at 2 s, 30 s per attempt.
+	DefaultRetryPolicy = core.DefaultRetryPolicy
 )
 
 // Aggregate constructors for the query builder.
@@ -244,6 +251,7 @@ type clusterConfig struct {
 	serialized bool
 	blockRows  int
 	traceTo    io.Writer
+	retry      core.RetryPolicy
 }
 
 // WithCatalog attaches distribution knowledge, enabling the
@@ -278,6 +286,14 @@ func WithTrace(w io.Writer) ClusterOption {
 	return func(c *clusterConfig) { c.traceTo = w }
 }
 
+// WithSiteRetry makes the coordinator retry failed per-site calls under the
+// given policy (see DefaultRetryPolicy). Retried streams are staged before
+// synchronization, so a partial failure is re-run without double-counting.
+// Without this option site failures fail the query immediately.
+func WithSiteRetry(p RetryPolicy) ClusterOption {
+	return func(c *clusterConfig) { c.retry = p }
+}
+
 // NewLocalCluster creates an in-process cluster of n empty sites. Load data
 // with Load or LoadPartitions.
 func NewLocalCluster(n int, opts ...ClusterOption) (*Cluster, error) {
@@ -302,6 +318,7 @@ func NewLocalCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 		return nil, err
 	}
 	coord.SetRowBlocking(cfg.blockRows)
+	coord.SetRetryPolicy(cfg.retry)
 	if cfg.traceTo != nil {
 		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
 	}
@@ -332,6 +349,7 @@ func Connect(addrs []string, opts ...ClusterOption) (*Cluster, error) {
 		return nil, err
 	}
 	coord.SetRowBlocking(cfg.blockRows)
+	coord.SetRetryPolicy(cfg.retry)
 	if cfg.traceTo != nil {
 		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
 	}
@@ -465,6 +483,7 @@ func NewTieredLocalCluster(leaves, relays int, opts ...ClusterOption) (*Cluster,
 		return nil, err
 	}
 	coord.SetRowBlocking(cfg.blockRows)
+	coord.SetRetryPolicy(cfg.retry)
 	if cfg.traceTo != nil {
 		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
 	}
