@@ -28,7 +28,7 @@ func BenchmarkRowBlocking(b *testing.B) {
 	q := bench.TwoPhaseQuery(bench.HighCardAttr, true)
 	for _, blockRows := range []int{0, 64, 512} {
 		b.Run(fmt.Sprintf("blockRows=%d", blockRows), func(b *testing.B) {
-			c, err := bench.NewTPCCluster(d, 4, stats.NetModel{})
+			c, err := bench.NewTPCCluster(context.Background(), d, 4, stats.NetModel{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -59,7 +59,7 @@ func BenchmarkTransportOverhead(b *testing.B) {
 			sites := make([]transport.Site, 4)
 			for i := 0; i < 4; i++ {
 				es := engine.NewSite(i)
-				if err := es.Load(tpc.RelationName, d.Parts[i]); err != nil {
+				if err := es.Load(context.Background(), tpc.RelationName, d.Parts[i]); err != nil {
 					b.Fatal(err)
 				}
 				if serialized {
@@ -108,7 +108,7 @@ func BenchmarkLocalEvalPath(b *testing.B) {
 			for i := 0; i < 2; i++ {
 				es := engine.NewSite(i)
 				es.SetUseHash(useHash)
-				if err := es.Load(tpc.RelationName, d.Parts[i]); err != nil {
+				if err := es.Load(context.Background(), tpc.RelationName, d.Parts[i]); err != nil {
 					b.Fatal(err)
 				}
 				sites[i] = transport.NewFastLocalSite(es)
@@ -138,7 +138,7 @@ func BenchmarkDistributedCube(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c, err := bench.NewTPCCluster(d, 4, stats.NetModel{})
+	c, err := bench.NewTPCCluster(context.Background(), d, 4, stats.NetModel{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func BenchmarkTieredCoordinator(b *testing.B) {
 		leaves := make([]transport.Site, 8)
 		for i := 0; i < 8; i++ {
 			es := engine.NewSite(i)
-			if err := es.Load(tpc.RelationName, d.Parts[i]); err != nil {
+			if err := es.Load(context.Background(), tpc.RelationName, d.Parts[i]); err != nil {
 				b.Fatal(err)
 			}
 			leaves[i] = transport.NewFastLocalSite(es)
@@ -239,7 +239,7 @@ func BenchmarkDiskVsMemoryScan(b *testing.B) {
 					if err := es.LoadSource(tpc.RelationName, tbl); err != nil {
 						b.Fatal(err)
 					}
-				} else if err := es.Load(tpc.RelationName, d.Parts[i]); err != nil {
+				} else if err := es.Load(context.Background(), tpc.RelationName, d.Parts[i]); err != nil {
 					b.Fatal(err)
 				}
 				sites[i] = transport.NewFastLocalSite(es)

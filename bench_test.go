@@ -50,7 +50,7 @@ func dataset(b *testing.B) *tpc.Dataset {
 // from the last run.
 func runQuery(b *testing.B, d *tpc.Dataset, n int, q gmdj.Query, opts plan.Options) {
 	b.Helper()
-	c, err := bench.NewTPCCluster(d, n, stats.DefaultLAN())
+	c, err := bench.NewTPCCluster(context.Background(), d, n, stats.DefaultLAN())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func BenchmarkSyncMerge(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			c, err := bench.NewTPCCluster(d, 4, stats.NetModel{})
+			c, err := bench.NewTPCCluster(context.Background(), d, 4, stats.NetModel{})
 			if err != nil {
 				b.Fatal(err)
 			}

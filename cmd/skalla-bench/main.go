@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -56,6 +57,7 @@ func run(args []string, out io.Writer) error {
 	if *netFlag == "lan" {
 		net = stats.DefaultLAN()
 	}
+	ctx := context.Background()
 	collected := make(map[string][]bench.Row)
 
 	runFig := func(name string) error {
@@ -65,7 +67,7 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			rows, err := bench.Fig2(d, *sites, net)
+			rows, err := bench.Fig2(ctx, d, *sites, net)
 			if err != nil {
 				return err
 			}
@@ -76,7 +78,7 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			rows, err := bench.Fig3(d, *sites, net)
+			rows, err := bench.Fig3(ctx, d, *sites, net)
 			if err != nil {
 				return err
 			}
@@ -87,14 +89,14 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			rows, err := bench.Fig4(d, *sites, net)
+			rows, err := bench.Fig4(ctx, d, *sites, net)
 			if err != nil {
 				return err
 			}
 			collected["fig4"] = rows
 			fmt.Fprint(out, bench.Render("Fig. 4: synchronization reduction (speed-up, high & low cardinality)", rows))
 		case "5":
-			rows, err := bench.Fig5(cfg, 4, *scale, *constG, net)
+			rows, err := bench.Fig5(ctx, cfg, 4, *scale, *constG, net)
 			if err != nil {
 				return err
 			}
@@ -112,7 +114,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, "== Sect. 5.2 formula: rows(site-reduced)/rows(baseline) vs (2c+2n+1)/(4n+1) ==")
 			fmt.Fprintf(out, "%4s %8s %10s %10s %8s\n", "n", "c", "measured", "predicted", "err%")
 			for n := 2; n <= *sites; n++ {
-				fc, err := bench.Fig2Formula(d, n, net)
+				fc, err := bench.Fig2Formula(ctx, d, n, net)
 				if err != nil {
 					return err
 				}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -32,7 +33,7 @@ func startCluster(t *testing.T) (dir, sites string) {
 	var addrs []string
 	for i, part := range d.Parts {
 		es := engine.NewSite(i)
-		if err := es.Load(flow.RelationName, part); err != nil {
+		if err := es.Load(context.Background(), flow.RelationName, part); err != nil {
 			t.Fatal(err)
 		}
 		srv, err := transport.Serve(es, "127.0.0.1:0")

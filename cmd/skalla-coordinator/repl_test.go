@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -21,7 +22,7 @@ func replCluster(t *testing.T) *skalla.Cluster {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { cl.Close() })
-	if err := cl.LoadPartitions("Flow", d.Parts); err != nil {
+	if err := cl.LoadPartitions(context.Background(), "Flow", d.Parts); err != nil {
 		t.Fatal(err)
 	}
 	return cl

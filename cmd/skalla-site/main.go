@@ -160,7 +160,7 @@ func start(args []string) (*siteProc, error) {
 			if err != nil {
 				return fail(err)
 			}
-			if err := es.Load(relName, part); err != nil {
+			if err := es.Load(context.Background(), relName, part); err != nil {
 				return fail(err)
 			}
 			log.Info("loaded partition", "relation", relName, "rows", part.Len())

@@ -31,10 +31,10 @@ func tinyFlowCluster() *skalla.Cluster {
 		log.Fatal(err)
 	}
 	// Site 0 holds AS 1, site 1 holds AS 2 (RouterId partitioning).
-	if err := cluster.Load(0, "Flow", mkRel([][3]int64{{1, 1, 10}, {1, 1, 30}, {1, 2, 5}})); err != nil {
+	if err := cluster.Load(context.Background(), 0, "Flow", mkRel([][3]int64{{1, 1, 10}, {1, 1, 30}, {1, 2, 5}})); err != nil {
 		log.Fatal(err)
 	}
-	if err := cluster.Load(1, "Flow", mkRel([][3]int64{{2, 1, 7}, {2, 1, 9}})); err != nil {
+	if err := cluster.Load(context.Background(), 1, "Flow", mkRel([][3]int64{{2, 1, 7}, {2, 1, 9}})); err != nil {
 		log.Fatal(err)
 	}
 	return cluster

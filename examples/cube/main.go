@@ -32,7 +32,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
-	if err := cluster.LoadPartitions(tpc.RelationName, dataset.Parts); err != nil {
+	if err := cluster.LoadPartitions(context.Background(), tpc.RelationName, dataset.Parts); err != nil {
 		log.Fatal(err)
 	}
 	ctx := context.Background()
@@ -84,7 +84,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := cluster.Load(i, "UP", up); err != nil {
+		if err := cluster.Load(context.Background(), i, "UP", up); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -48,7 +48,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
-	if err := cluster.LoadPartitions("Flow", trace.Parts); err != nil {
+	if err := cluster.LoadPartitions(context.Background(), "Flow", trace.Parts); err != nil {
 		log.Fatal(err)
 	}
 

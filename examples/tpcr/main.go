@@ -38,7 +38,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
-	if err := cluster.LoadPartitions(tpc.RelationName, dataset.Parts); err != nil {
+	if err := cluster.LoadPartitions(context.Background(), tpc.RelationName, dataset.Parts); err != nil {
 		log.Fatal(err)
 	}
 	ctx := context.Background()

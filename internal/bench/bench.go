@@ -34,14 +34,14 @@ type Cluster struct {
 // NewTPCCluster builds a cluster over the first n partitions of a TPCR
 // dataset, using the serializing in-process transport so byte counts are
 // wire-faithful.
-func NewTPCCluster(d *tpc.Dataset, n int, net stats.NetModel) (*Cluster, error) {
+func NewTPCCluster(ctx context.Context, d *tpc.Dataset, n int, net stats.NetModel) (*Cluster, error) {
 	if n <= 0 || n > d.NumSites {
 		return nil, fmt.Errorf("bench: cluster over %d of %d sites", n, d.NumSites)
 	}
 	sites := make([]transport.Site, n)
 	for i := 0; i < n; i++ {
 		es := engine.NewSite(i)
-		if err := es.Load(tpc.RelationName, d.Parts[i]); err != nil {
+		if err := es.Load(ctx, tpc.RelationName, d.Parts[i]); err != nil {
 			return nil, err
 		}
 		sites[i] = transport.NewLocalSite(es)
@@ -140,8 +140,8 @@ type RoundRow struct {
 
 // measure runs one query under the given options and folds the metrics into
 // a Row.
-func measure(c *Cluster, q gmdj.Query, opts plan.Options, series string, x int) (Row, error) {
-	res, err := c.Coord.Execute(context.Background(), q, opts)
+func measure(ctx context.Context, c *Cluster, q gmdj.Query, opts plan.Options, series string, x int) (Row, error) {
+	res, err := c.Coord.Execute(ctx, q, opts)
 	if err != nil {
 		return Row{}, err
 	}
@@ -187,14 +187,14 @@ func measure(c *Cluster, q gmdj.Query, opts plan.Options, series string, x int) 
 
 // SpeedUp runs one query/options pair over 1..maxSites participating sites
 // of a fixed dataset (the setup of Sect. 5.2) and returns one Row per point.
-func SpeedUp(d *tpc.Dataset, q gmdj.Query, opts plan.Options, series string, maxSites int, net stats.NetModel) ([]Row, error) {
+func SpeedUp(ctx context.Context, d *tpc.Dataset, q gmdj.Query, opts plan.Options, series string, maxSites int, net stats.NetModel) ([]Row, error) {
 	var rows []Row
 	for n := 1; n <= maxSites; n++ {
-		c, err := NewTPCCluster(d, n, net)
+		c, err := NewTPCCluster(ctx, d, n, net)
 		if err != nil {
 			return nil, err
 		}
-		r, err := measure(c, q, opts, series, n)
+		r, err := measure(ctx, c, q, opts, series, n)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s at %d sites: %w", series, n, err)
 		}
@@ -209,7 +209,7 @@ func SpeedUp(d *tpc.Dataset, q gmdj.Query, opts plan.Options, series string, max
 // coordinator-side (distribution-aware) reduction, and both. The paper plots
 // the first two; the coordinator-side series demonstrates the "would make
 // the curves linear" analysis of Sect. 5.2.
-func Fig2(d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
+func Fig2(ctx context.Context, d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
 	q := TwoPhaseQuery(HighCardAttr, true)
 	variants := []struct {
 		series string
@@ -222,7 +222,7 @@ func Fig2(d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
 	}
 	var out []Row
 	for _, v := range variants {
-		rows, err := SpeedUp(d, q, v.opts, v.series, maxSites, net)
+		rows, err := SpeedUp(ctx, d, q, v.opts, v.series, maxSites, net)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +234,7 @@ func Fig2(d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
 // Fig3 reproduces the coalescing experiment (Fig. 3): the independent
 // two-operator query, coalesced vs. not, on the high-cardinality attribute
 // (left panel) and the low-cardinality attribute (right panel).
-func Fig3(d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
+func Fig3(ctx context.Context, d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
 	var out []Row
 	for _, card := range []struct {
 		label string
@@ -248,7 +248,7 @@ func Fig3(d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
 			{card.label + "/non-coalesced", plan.None()},
 			{card.label + "/coalesced", plan.Options{Coalesce: true}},
 		} {
-			rows, err := SpeedUp(d, q, v.opts, v.series, maxSites, net)
+			rows, err := SpeedUp(ctx, d, q, v.opts, v.series, maxSites, net)
 			if err != nil {
 				return nil, err
 			}
@@ -262,7 +262,7 @@ func Fig3(d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
 // dependent (non-coalescible) query with and without sync reduction, on the
 // high-cardinality attribute (left) and the low-cardinality partition-
 // aligned attribute (right).
-func Fig4(d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
+func Fig4(ctx context.Context, d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
 	var out []Row
 	for _, card := range []struct {
 		label string
@@ -276,7 +276,7 @@ func Fig4(d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
 			{card.label + "/no-sync-reduction", plan.None()},
 			{card.label + "/sync-reduction", plan.Options{SyncReduce: true}},
 		} {
-			rows, err := SpeedUp(d, q, v.opts, v.series, maxSites, net)
+			rows, err := SpeedUp(ctx, d, q, v.opts, v.series, maxSites, net)
 			if err != nil {
 				return nil, err
 			}
@@ -292,7 +292,7 @@ func Fig4(d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
 // held fixed while the data grows (the Sect. 5.3 variant); otherwise groups
 // grow linearly with the data. The optimized rows carry the site /
 // coordinator / communication breakdown of the right panel.
-func Fig5(base tpc.Config, numSites, maxScale int, constantGroups bool, net stats.NetModel) ([]Row, error) {
+func Fig5(ctx context.Context, base tpc.Config, numSites, maxScale int, constantGroups bool, net stats.NetModel) ([]Row, error) {
 	q := TwoPhaseQuery(HighCardAttr, true)
 	var out []Row
 	for s := 1; s <= maxScale; s++ {
@@ -305,15 +305,15 @@ func Fig5(base tpc.Config, numSites, maxScale int, constantGroups bool, net stat
 		if err != nil {
 			return nil, err
 		}
-		c, err := NewTPCCluster(d, numSites, net)
+		c, err := NewTPCCluster(ctx, d, numSites, net)
 		if err != nil {
 			return nil, err
 		}
-		unopt, err := measure(c, q, plan.None(), "unoptimized", s)
+		unopt, err := measure(ctx, c, q, plan.None(), "unoptimized", s)
 		if err != nil {
 			return nil, err
 		}
-		opt, err := measure(c, q, plan.All(), "optimized", s)
+		opt, err := measure(ctx, c, q, plan.All(), "optimized", s)
 		if err != nil {
 			return nil, err
 		}
@@ -349,17 +349,17 @@ func (f FormulaCheck) RelError() float64 {
 
 // Fig2Formula measures the group-transfer ratio at n sites and evaluates the
 // analytic formula against it.
-func Fig2Formula(d *tpc.Dataset, n int, net stats.NetModel) (FormulaCheck, error) {
+func Fig2Formula(ctx context.Context, d *tpc.Dataset, n int, net stats.NetModel) (FormulaCheck, error) {
 	q := TwoPhaseQuery(HighCardAttr, true)
-	c, err := NewTPCCluster(d, n, net)
+	c, err := NewTPCCluster(ctx, d, n, net)
 	if err != nil {
 		return FormulaCheck{}, err
 	}
-	base, err := measure(c, q, plan.None(), "none", n)
+	base, err := measure(ctx, c, q, plan.None(), "none", n)
 	if err != nil {
 		return FormulaCheck{}, err
 	}
-	red, err := measure(c, q, plan.Options{GroupReduceSite: true}, "site", n)
+	red, err := measure(ctx, c, q, plan.Options{GroupReduceSite: true}, "site", n)
 	if err != nil {
 		return FormulaCheck{}, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,17 +27,17 @@ func smallDataset(t *testing.T, sites int) *tpc.Dataset {
 
 func TestNewTPCCluster(t *testing.T) {
 	d := smallDataset(t, 4)
-	c, err := NewTPCCluster(d, 3, stats.NetModel{})
+	c, err := NewTPCCluster(context.Background(), d, 3, stats.NetModel{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.Coord.NumSites() != 3 || len(c.Sites) != 3 {
 		t.Errorf("cluster size = %d/%d", c.Coord.NumSites(), len(c.Sites))
 	}
-	if _, err := NewTPCCluster(d, 0, stats.NetModel{}); err == nil {
+	if _, err := NewTPCCluster(context.Background(), d, 0, stats.NetModel{}); err == nil {
 		t.Error("zero sites must error")
 	}
-	if _, err := NewTPCCluster(d, 5, stats.NetModel{}); err == nil {
+	if _, err := NewTPCCluster(context.Background(), d, 5, stats.NetModel{}); err == nil {
 		t.Error("too many sites must error")
 	}
 }
@@ -66,7 +67,7 @@ func TestTwoPhaseQueryShapes(t *testing.T) {
 // centralized oracle (sanity for the whole harness path).
 func TestWorkloadsMatchOracle(t *testing.T) {
 	d := smallDataset(t, 3)
-	c, err := NewTPCCluster(d, 3, stats.NetModel{})
+	c, err := NewTPCCluster(context.Background(), d, 3, stats.NetModel{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestWorkloadsMatchOracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := measure(c, q, plan.All(), "x", 0)
+		r, err := measure(context.Background(), c, q, plan.All(), "x", 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestFig2Shapes(t *testing.T) {
 		t.Skip("speed-up sweep")
 	}
 	d := smallDataset(t, 4)
-	rows, err := Fig2(d, 4, stats.NetModel{})
+	rows, err := Fig2(context.Background(), d, 4, stats.NetModel{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestFig3Shapes(t *testing.T) {
 		t.Skip("speed-up sweep")
 	}
 	d := smallDataset(t, 4)
-	rows, err := Fig3(d, 4, stats.NetModel{})
+	rows, err := Fig3(context.Background(), d, 4, stats.NetModel{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestFig4Shapes(t *testing.T) {
 		t.Skip("speed-up sweep")
 	}
 	d := smallDataset(t, 4)
-	rows, err := Fig4(d, 4, stats.NetModel{})
+	rows, err := Fig4(context.Background(), d, 4, stats.NetModel{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestFig5Shapes(t *testing.T) {
 	base := smallConfig()
 	base.Rows = 2000
 	base.Customers = 800
-	rows, err := Fig5(base, 4, 3, false, stats.NetModel{})
+	rows, err := Fig5(context.Background(), base, 4, 3, false, stats.NetModel{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestFig5Shapes(t *testing.T) {
 		}
 	}
 	// Constant-group variant: group count stays flat.
-	crows, err := Fig5(base, 4, 2, true, stats.NetModel{})
+	crows, err := Fig5(context.Background(), base, 4, 2, true, stats.NetModel{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestFig2FormulaWithin5Percent(t *testing.T) {
 	}
 	d := smallDataset(t, 4)
 	for _, n := range []int{2, 4} {
-		fc, err := Fig2Formula(d, n, stats.NetModel{})
+		fc, err := Fig2Formula(context.Background(), d, n, stats.NetModel{})
 		if err != nil {
 			t.Fatal(err)
 		}

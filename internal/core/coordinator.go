@@ -60,9 +60,10 @@ type Result struct {
 // schemaSource adapts site 0 into a gmdj.SchemaSource with caching, so
 // planning can resolve detail schemas without repeated metadata calls.
 type schemaSource struct {
-	ctx   context.Context
-	site  transport.Site
-	mu    sync.Mutex
+	ctx  context.Context
+	site transport.Site
+	mu   sync.Mutex
+	//skallavet:allow stringkey -- catalog cache keyed by relation name: one lookup per plan, not per tuple
 	cache map[string]relation.Schema
 }
 
@@ -82,6 +83,7 @@ func (s *schemaSource) DetailSchema(name string) (relation.Schema, error) {
 
 // SchemaSource returns a caching schema source backed by the first site.
 func (c *Coordinator) SchemaSource(ctx context.Context) gmdj.SchemaSource {
+	//skallavet:allow stringkey -- catalog cache keyed by relation name: one lookup per plan, not per tuple
 	return &schemaSource{ctx: ctx, site: c.sites[0], cache: make(map[string]relation.Schema)}
 }
 

@@ -43,7 +43,7 @@ func buildClusterImpl(global *relation.Relation, name string, n int, per int64, 
 			return tp[gi].Int >= lo && tp[gi].Int <= hi
 		})
 		es := engine.NewSite(i)
-		if err := es.Load(name, part); err != nil {
+		if err := es.Load(context.Background(), name, part); err != nil {
 			return nil, nil, err
 		}
 		if fast {
@@ -290,7 +290,7 @@ func TestMultiRelationQuery(t *testing.T) {
 			part := rel.Filter(func(tp relation.Tuple) bool {
 				return tp[gi].Int >= lo && tp[gi].Int <= hi
 			})
-			if err := es.Load(name, part); err != nil {
+			if err := es.Load(context.Background(), name, part); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -510,7 +510,7 @@ func TestHashPartitionedCluster(t *testing.T) {
 			return filters[i].Contains(tp[gi])
 		})
 		es := engine.NewSite(i)
-		if err := es.Load("T", part); err != nil {
+		if err := es.Load(context.Background(), "T", part); err != nil {
 			t.Fatal(err)
 		}
 		sites[i] = transport.NewFastLocalSite(es)

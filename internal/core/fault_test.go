@@ -186,7 +186,7 @@ func TestTCPSiteDeath(t *testing.T) {
 		lo, hi := int64(i)*6, int64(i)*6+5
 		es := engine.NewSite(i)
 		part := global.Filter(func(tp relation.Tuple) bool { return tp[gi].Int >= lo && tp[gi].Int <= hi })
-		if err := es.Load("T", part); err != nil {
+		if err := es.Load(context.Background(), "T", part); err != nil {
 			t.Fatal(err)
 		}
 		srv, err := transport.Serve(es, "127.0.0.1:0")

@@ -29,7 +29,8 @@ type Relay struct {
 	id       int
 	children []transport.Site
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//skallavet:allow stringkey -- catalog cache keyed by relation name: one lookup per operator round
 	schema map[string]relation.Schema
 }
 
@@ -38,6 +39,7 @@ func NewRelay(id int, children []transport.Site) (*Relay, error) {
 	if len(children) == 0 {
 		return nil, fmt.Errorf("core: relay needs at least one child")
 	}
+	//skallavet:allow stringkey -- catalog cache keyed by relation name: one lookup per operator round
 	return &Relay{id: id, children: children, schema: make(map[string]relation.Schema)}, nil
 }
 
@@ -45,19 +47,19 @@ func NewRelay(id int, children []transport.Site) (*Relay, error) {
 func (r *Relay) ID() int { return r.id }
 
 // Load implements transport.Backend: relays hold no data.
-func (r *Relay) Load(string, *relation.Relation) error {
+func (r *Relay) Load(context.Context, string, *relation.Relation) error {
 	return fmt.Errorf("core: relay %d holds no data; load the leaf sites", r.id)
 }
 
 // DetailSchema implements transport.Backend with caching.
-func (r *Relay) DetailSchema(name string) (relation.Schema, error) {
+func (r *Relay) DetailSchema(ctx context.Context, name string) (relation.Schema, error) {
 	r.mu.Lock()
 	if s, ok := r.schema[name]; ok {
 		r.mu.Unlock()
 		return s, nil
 	}
 	r.mu.Unlock()
-	s, err := r.children[0].DetailSchema(context.Background(), name)
+	s, err := r.children[0].DetailSchema(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -69,10 +71,11 @@ func (r *Relay) DetailSchema(name string) (relation.Schema, error) {
 
 // Tables implements transport.Backend: the union of the children's
 // inventories with row counts summed per relation.
-func (r *Relay) Tables() []engine.TableInfo {
+func (r *Relay) Tables(ctx context.Context) []engine.TableInfo {
+	//skallavet:allow stringkey -- inventory merge keyed by relation name: metadata call, sites x relations entries
 	totals := make(map[string]engine.TableInfo)
 	for _, c := range r.children {
-		infos, err := c.Tables(context.Background())
+		infos, err := c.Tables(ctx)
 		if err != nil {
 			continue
 		}
@@ -92,8 +95,12 @@ func (r *Relay) Tables() []engine.TableInfo {
 	return out
 }
 
-// fanOut runs f against every child in parallel and gathers results.
-func (r *Relay) fanOut(f func(transport.Site) (*relation.Relation, error)) ([]*relation.Relation, error) {
+// fanOut runs f against every child in parallel and gathers results. The
+// first child error cancels the context handed to the rest of the fan-out,
+// so one failed leaf does not leave its siblings computing for a dead round.
+func (r *Relay) fanOut(ctx context.Context, f func(context.Context, transport.Site) (*relation.Relation, error)) ([]*relation.Relation, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	rels := make([]*relation.Relation, len(r.children))
 	errs := make([]error, len(r.children))
 	var wg sync.WaitGroup
@@ -101,7 +108,10 @@ func (r *Relay) fanOut(f func(transport.Site) (*relation.Relation, error)) ([]*r
 		wg.Add(1)
 		go func(i int, c transport.Site) {
 			defer wg.Done()
-			rels[i], errs[i] = f(c)
+			rels[i], errs[i] = f(ctx, c)
+			if errs[i] != nil {
+				cancel()
+			}
 		}(i, c)
 	}
 	wg.Wait()
@@ -116,9 +126,9 @@ func (r *Relay) fanOut(f func(transport.Site) (*relation.Relation, error)) ([]*r
 // EvalBase implements transport.Backend: the union of the children's
 // base-values fragments, de-duplicated (the projection columns form the
 // key, so set union is exact and shrinks the upward traffic).
-func (r *Relay) EvalBase(bq gmdj.BaseQuery) (*relation.Relation, error) {
-	parts, err := r.fanOut(func(c transport.Site) (*relation.Relation, error) {
-		rel, _, err := c.EvalBase(context.Background(), bq)
+func (r *Relay) EvalBase(ctx context.Context, bq gmdj.BaseQuery) (*relation.Relation, error) {
+	parts, err := r.fanOut(ctx, func(ctx context.Context, c transport.Site) (*relation.Relation, error) {
+		rel, _, err := c.EvalBase(ctx, bq)
 		return rel, err
 	})
 	if err != nil {
@@ -140,8 +150,8 @@ func (r *Relay) EvalBase(bq gmdj.BaseQuery) (*relation.Relation, error) {
 // merged by key with the super-aggregates (Theorem 1 applied at the tier),
 // then emitted in blocks. The merged relation is a valid sub-aggregate of
 // the relay's whole subtree.
-func (r *Relay) EvalOperatorBlocks(req engine.OperatorRequest, emit func(*relation.Relation) error) error {
-	detail, err := r.DetailSchema(req.Op.Detail)
+func (r *Relay) EvalOperatorBlocks(ctx context.Context, req engine.OperatorRequest, emit func(*relation.Relation) error) error {
+	detail, err := r.DetailSchema(ctx, req.Op.Detail)
 	if err != nil {
 		return err
 	}
@@ -151,8 +161,8 @@ func (r *Relay) EvalOperatorBlocks(req engine.OperatorRequest, emit func(*relati
 			return err
 		}
 	}
-	parts, err := r.fanOut(func(c transport.Site) (*relation.Relation, error) {
-		rel, _, err := c.EvalOperator(context.Background(), req)
+	parts, err := r.fanOut(ctx, func(ctx context.Context, c transport.Site) (*relation.Relation, error) {
+		rel, _, err := c.EvalOperator(ctx, req)
 		return rel, err
 	})
 	if err != nil {
@@ -167,20 +177,23 @@ func (r *Relay) EvalOperatorBlocks(req engine.OperatorRequest, emit func(*relati
 
 // EvalLocal implements transport.Backend: the children's locally evaluated X
 // prefixes are merged exactly as the root coordinator would merge them.
-func (r *Relay) EvalLocal(req engine.LocalRequest) (*relation.Relation, error) {
-	xs, err := gmdj.XSchemas(req.Query, gmdj.SchemaSourceFunc(r.DetailSchema))
+func (r *Relay) EvalLocal(ctx context.Context, req engine.LocalRequest) (*relation.Relation, error) {
+	schemas := gmdj.SchemaSourceFunc(func(name string) (relation.Schema, error) {
+		return r.DetailSchema(ctx, name)
+	})
+	xs, err := gmdj.XSchemas(req.Query, schemas)
 	if err != nil {
 		return nil, err
 	}
-	segs, err := buildSegments(req.Query, gmdj.SchemaSourceFunc(r.DetailSchema), len(req.Query.Keys()))
+	segs, err := buildSegments(req.Query, schemas, len(req.Query.Keys()))
 	if err != nil {
 		return nil, err
 	}
 	if req.UpTo < 0 || req.UpTo >= len(xs) {
 		return nil, fmt.Errorf("core: relay: prefix %d out of range", req.UpTo)
 	}
-	parts, err := r.fanOut(func(c transport.Site) (*relation.Relation, error) {
-		rel, _, err := c.EvalLocal(context.Background(), req)
+	parts, err := r.fanOut(ctx, func(ctx context.Context, c transport.Site) (*relation.Relation, error) {
+		rel, _, err := c.EvalLocal(ctx, req)
 		return rel, err
 	})
 	if err != nil {

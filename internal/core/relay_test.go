@@ -173,16 +173,16 @@ func TestRelayErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := relay.Load("T", relation.New(tSchema)); err == nil {
+	if err := relay.Load(context.Background(), "T", relation.New(tSchema)); err == nil {
 		t.Error("relay Load must error")
 	}
-	if _, err := relay.DetailSchema("missing"); err == nil {
+	if _, err := relay.DetailSchema(context.Background(), "missing"); err == nil {
 		t.Error("unknown relation must error")
 	}
-	if _, err := relay.EvalBase(gmdj.BaseQuery{Detail: "missing", Cols: []string{"x"}}); err == nil {
+	if _, err := relay.EvalBase(context.Background(), gmdj.BaseQuery{Detail: "missing", Cols: []string{"x"}}); err == nil {
 		t.Error("bad base query must error")
 	}
-	if _, err := relay.EvalLocal(engine.LocalRequest{Query: chainQuery(), UpTo: 99}); err == nil {
+	if _, err := relay.EvalLocal(context.Background(), engine.LocalRequest{Query: chainQuery(), UpTo: 99}); err == nil {
 		t.Error("out-of-range prefix must error")
 	}
 }
@@ -195,7 +195,7 @@ func TestRelayTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	infos := relay.Tables()
+	infos := relay.Tables(context.Background())
 	if len(infos) != 1 || infos[0].Name != "T" || infos[0].Rows != 40 {
 		t.Errorf("relay inventory = %+v", infos)
 	}

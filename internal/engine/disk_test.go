@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"skalla/internal/gmdj"
@@ -16,7 +17,7 @@ func TestDiskBackedSiteEquivalence(t *testing.T) {
 	rel := flowRel(rows...)
 
 	mem := NewSite(0)
-	if err := mem.Load("Flow", rel); err != nil {
+	if err := mem.Load(context.Background(), "Flow", rel); err != nil {
 		t.Fatal(err)
 	}
 	disk := NewSite(0)
@@ -30,11 +31,11 @@ func TestDiskBackedSiteEquivalence(t *testing.T) {
 
 	// Base query.
 	bq := gmdj.BaseQuery{Detail: "Flow", Cols: []string{"SAS", "DAS"}}
-	memB, err := mem.EvalBase(bq)
+	memB, err := mem.EvalBase(context.Background(), bq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	diskB, err := disk.EvalBase(bq)
+	diskB, err := disk.EvalBase(context.Background(), bq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,11 +55,11 @@ func TestDiskBackedSiteEquivalence(t *testing.T) {
 		for _, guard := range []bool{false, true} {
 			r := req
 			r.Guard = guard
-			memH, err := mem.EvalOperator(r)
+			memH, err := mem.EvalOperator(context.Background(), r)
 			if err != nil {
 				t.Fatal(err)
 			}
-			diskH, err := disk.EvalOperator(r)
+			diskH, err := disk.EvalOperator(context.Background(), r)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -78,11 +79,11 @@ func TestDiskBackedSiteEquivalence(t *testing.T) {
 			Cond: countOp("B.SAS = R.SAS && B.DAS = R.DAS").Vars[0].Cond,
 		}}}},
 	}
-	memX, err := mem.EvalLocal(LocalRequest{Query: q, UpTo: 1})
+	memX, err := mem.EvalLocal(context.Background(), LocalRequest{Query: q, UpTo: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	diskX, err := disk.EvalLocal(LocalRequest{Query: q, UpTo: 1})
+	diskX, err := disk.EvalLocal(context.Background(), LocalRequest{Query: q, UpTo: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -26,13 +27,15 @@ import (
 type Site struct {
 	id int
 
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	//skallavet:allow stringkey -- table catalog keyed by relation name: one lookup per evaluation, not per tuple
 	tables  map[string]gmdj.RowSource
 	useHash bool
 }
 
 // NewSite creates an empty site.
 func NewSite(id int) *Site {
+	//skallavet:allow stringkey -- table catalog keyed by relation name: one lookup per evaluation, not per tuple
 	return &Site{id: id, tables: make(map[string]gmdj.RowSource), useHash: true}
 }
 
@@ -49,7 +52,7 @@ func (s *Site) SetUseHash(v bool) {
 
 // Load installs (or replaces) the local partition of a detail relation as an
 // in-memory source.
-func (s *Site) Load(name string, rel *relation.Relation) error {
+func (s *Site) Load(_ context.Context, name string, rel *relation.Relation) error {
 	if rel == nil {
 		return fmt.Errorf("engine: nil relation %q", name)
 	}
@@ -95,7 +98,7 @@ type TableInfo struct {
 }
 
 // Tables returns the site's relation inventory, sorted by name.
-func (s *Site) Tables() []TableInfo {
+func (s *Site) Tables(_ context.Context) []TableInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]TableInfo, 0, len(s.tables))
@@ -106,7 +109,7 @@ func (s *Site) Tables() []TableInfo {
 	return out
 }
 
-// DetailSource implements gmdj.DataSource over the local partitions.
+// DetailSource returns the local partition of a detail relation.
 func (s *Site) DetailSource(name string) (gmdj.RowSource, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -117,8 +120,9 @@ func (s *Site) DetailSource(name string) (gmdj.RowSource, error) {
 	return src, nil
 }
 
-// DetailSchema implements gmdj.SchemaSource.
-func (s *Site) DetailSchema(name string) (relation.Schema, error) {
+// DetailSchema implements transport.Backend. Catalog lookups are local map
+// reads; the context is accepted for interface symmetry.
+func (s *Site) DetailSchema(_ context.Context, name string) (relation.Schema, error) {
 	src, err := s.DetailSource(name)
 	if err != nil {
 		return nil, err
@@ -126,8 +130,32 @@ func (s *Site) DetailSchema(name string) (relation.Schema, error) {
 	return src.Schema(), nil
 }
 
+// source adapts the site to gmdj.DataSource: the gmdj evaluator's interfaces
+// stay context-free (they are pure catalog/scan surfaces), so conformance
+// goes through this adapter rather than the Backend-facing methods.
+type source struct{ site *Site }
+
+func (ss source) DetailSchema(name string) (relation.Schema, error) {
+	src, err := ss.site.DetailSource(name)
+	if err != nil {
+		return nil, err
+	}
+	return src.Schema(), nil
+}
+
+func (ss source) DetailSource(name string) (gmdj.RowSource, error) {
+	return ss.site.DetailSource(name)
+}
+
+// Source exposes the site's partitions as a gmdj.DataSource (planning and
+// validation helpers program against that interface).
+func (s *Site) Source() gmdj.DataSource { return source{site: s} }
+
 // EvalBase computes the site's fragment B_i of the base-values relation.
-func (s *Site) EvalBase(bq gmdj.BaseQuery) (*relation.Relation, error) {
+func (s *Site) EvalBase(ctx context.Context, bq gmdj.BaseQuery) (*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	obs.EngineEvals.With("base").Inc()
 	detail, err := s.DetailSource(bq.Detail)
 	if err != nil {
@@ -162,9 +190,9 @@ type OperatorRequest struct {
 // EvalOperator computes the site's sub-aggregate relation H_i for one MD
 // operator: one row per (retained) base tuple, carrying the key attributes
 // followed by the physical sub-aggregate columns of every grouping variable.
-func (s *Site) EvalOperator(req OperatorRequest) (*relation.Relation, error) {
+func (s *Site) EvalOperator(ctx context.Context, req OperatorRequest) (*relation.Relation, error) {
 	var h *relation.Relation
-	err := s.EvalOperatorBlocks(req, func(block *relation.Relation) error {
+	err := s.EvalOperatorBlocks(ctx, req, func(block *relation.Relation) error {
 		if h == nil {
 			h = block
 			return nil
@@ -181,7 +209,10 @@ func (s *Site) EvalOperator(req OperatorRequest) (*relation.Relation, error) {
 // blocks of at most req.BlockRows rows (a single block when BlockRows ≤ 0).
 // Emit errors abort the evaluation. At least one (possibly empty) block is
 // always emitted.
-func (s *Site) EvalOperatorBlocks(req OperatorRequest, emit func(*relation.Relation) error) error {
+func (s *Site) EvalOperatorBlocks(ctx context.Context, req OperatorRequest, emit func(*relation.Relation) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	obs.EngineEvals.With("operator").Inc()
 	if req.Base == nil {
 		return fmt.Errorf("engine: operator request without base relation")
@@ -213,6 +244,12 @@ func (s *Site) EvalOperatorBlocks(req OperatorRequest, emit func(*relation.Relat
 	block := relation.New(hSchema)
 	emitted := false
 	flush := func() error {
+		// Block boundaries are the cancellation points of a streamed
+		// evaluation: a canceled coordinator stops the stream here instead of
+		// computing every remaining block.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		obs.EngineBlocks.Inc()
 		if err := emit(block); err != nil {
 			return err
@@ -260,13 +297,17 @@ type LocalRequest struct {
 // filtering is applied: under synchronization reduction the returned rows
 // are the sole carriers of group membership, so dropping untouched groups
 // would lose them.
-func (s *Site) EvalLocal(req LocalRequest) (*relation.Relation, error) {
+func (s *Site) EvalLocal(ctx context.Context, req LocalRequest) (*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	obs.EngineEvals.With("local").Inc()
 	s.mu.RLock()
 	useHash := s.useHash
 	s.mu.RUnlock()
-	if err := req.Query.Validate(s); err != nil {
+	src := s.Source()
+	if err := req.Query.Validate(src); err != nil {
 		return nil, err
 	}
-	return gmdj.EvalPrefixX(req.Query, s, req.UpTo, useHash)
+	return gmdj.EvalPrefixX(req.Query, src, req.UpTo, useHash)
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -29,7 +30,7 @@ func flowRel(rows ...[3]int64) *relation.Relation {
 func siteWithFlows(t *testing.T, rows ...[3]int64) *Site {
 	t.Helper()
 	s := NewSite(0)
-	if err := s.Load("Flow", flowRel(rows...)); err != nil {
+	if err := s.Load(context.Background(), "Flow", flowRel(rows...)); err != nil {
 		t.Fatal(err)
 	}
 	return s
@@ -40,16 +41,16 @@ func TestLoadAndLookup(t *testing.T) {
 	if s.ID() != 3 {
 		t.Errorf("ID = %d", s.ID())
 	}
-	if err := s.Load("", flowRel()); err == nil {
+	if err := s.Load(context.Background(), "", flowRel()); err == nil {
 		t.Error("empty name must error")
 	}
-	if err := s.Load("Flow", nil); err == nil {
+	if err := s.Load(context.Background(), "Flow", nil); err == nil {
 		t.Error("nil relation must error")
 	}
-	if err := s.Load("Flow", flowRel([3]int64{1, 1, 1})); err != nil {
+	if err := s.Load(context.Background(), "Flow", flowRel([3]int64{1, 1, 1})); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Load("Other", flowRel()); err != nil {
+	if err := s.Load(context.Background(), "Other", flowRel()); err != nil {
 		t.Fatal(err)
 	}
 	names := s.TableNames()
@@ -62,28 +63,28 @@ func TestLoadAndLookup(t *testing.T) {
 	if src, err := s.DetailSource("Flow"); err != nil || src.Len() != 1 {
 		t.Errorf("DetailSource: %v %v", src, err)
 	}
-	if sch, err := s.DetailSchema("Flow"); err != nil || !sch.Has("NB") {
+	if sch, err := s.DetailSchema(context.Background(), "Flow"); err != nil || !sch.Has("NB") {
 		t.Errorf("DetailSchema: %v %v", sch, err)
 	}
-	if _, err := s.DetailSchema("Missing"); err == nil {
+	if _, err := s.DetailSchema(context.Background(), "Missing"); err == nil {
 		t.Error("missing schema must error")
 	}
 	bad := relation.New(relation.Schema{{Name: "", Kind: relation.KindInt}})
-	if err := s.Load("Bad", bad); err == nil {
+	if err := s.Load(context.Background(), "Bad", bad); err == nil {
 		t.Error("invalid schema must be rejected")
 	}
 }
 
 func TestEvalBase(t *testing.T) {
 	s := siteWithFlows(t, [3]int64{1, 1, 5}, [3]int64{1, 1, 6}, [3]int64{2, 1, 7})
-	b, err := s.EvalBase(gmdj.BaseQuery{Detail: "Flow", Cols: []string{"SAS"}})
+	b, err := s.EvalBase(context.Background(), gmdj.BaseQuery{Detail: "Flow", Cols: []string{"SAS"}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if b.Len() != 2 {
 		t.Errorf("base rows = %d", b.Len())
 	}
-	if _, err := s.EvalBase(gmdj.BaseQuery{Detail: "Nope", Cols: []string{"x"}}); err == nil {
+	if _, err := s.EvalBase(context.Background(), gmdj.BaseQuery{Detail: "Nope", Cols: []string{"x"}}); err == nil {
 		t.Error("missing detail must error")
 	}
 }
@@ -105,7 +106,7 @@ func countOp(cond string) gmdj.Operator {
 
 func TestEvalOperatorSubAggregates(t *testing.T) {
 	s := siteWithFlows(t, [3]int64{1, 1, 5}, [3]int64{1, 2, 7}, [3]int64{2, 1, 11})
-	h, err := s.EvalOperator(OperatorRequest{
+	h, err := s.EvalOperator(context.Background(), OperatorRequest{
 		Base: baseFragment(1, 2, 3),
 		Op:   countOp("B.SAS = R.SAS"),
 		Keys: []string{"SAS"},
@@ -140,7 +141,7 @@ func TestEvalOperatorSubAggregates(t *testing.T) {
 
 func TestEvalOperatorGuardReduction(t *testing.T) {
 	s := siteWithFlows(t, [3]int64{1, 1, 5}, [3]int64{2, 1, 11})
-	h, err := s.EvalOperator(OperatorRequest{
+	h, err := s.EvalOperator(context.Background(), OperatorRequest{
 		Base:  baseFragment(1, 2, 3, 4),
 		Op:    countOp("B.SAS = R.SAS"),
 		Keys:  []string{"SAS"},
@@ -161,7 +162,7 @@ func TestEvalOperatorGuardUsesOrOfAllVars(t *testing.T) {
 		{Aggs: []agg.Spec{{Func: agg.Count, As: "c1"}}, Cond: expr.MustParse("B.SAS = R.SAS")},
 		{Aggs: []agg.Spec{{Func: agg.Count, As: "c2"}}, Cond: expr.MustParse("B.SAS = R.DAS")},
 	}}
-	h, err := s.EvalOperator(OperatorRequest{
+	h, err := s.EvalOperator(context.Background(), OperatorRequest{
 		Base:  baseFragment(1, 2),
 		Op:    op,
 		Keys:  []string{"SAS"},
@@ -181,21 +182,21 @@ func TestEvalOperatorGuardUsesOrOfAllVars(t *testing.T) {
 
 func TestEvalOperatorErrors(t *testing.T) {
 	s := siteWithFlows(t, [3]int64{1, 1, 5})
-	if _, err := s.EvalOperator(OperatorRequest{Op: countOp("true"), Keys: nil}); err == nil {
+	if _, err := s.EvalOperator(context.Background(), OperatorRequest{Op: countOp("true"), Keys: nil}); err == nil {
 		t.Error("nil base must error")
 	}
-	if _, err := s.EvalOperator(OperatorRequest{
+	if _, err := s.EvalOperator(context.Background(), OperatorRequest{
 		Base: baseFragment(1), Op: countOp("B.SAS = R.SAS"), Keys: []string{"zz"},
 	}); err == nil {
 		t.Error("unknown key must error")
 	}
 	badOp := countOp("B.SAS = R.SAS")
 	badOp.Detail = "Missing"
-	if _, err := s.EvalOperator(OperatorRequest{Base: baseFragment(1), Op: badOp, Keys: []string{"SAS"}}); err == nil {
+	if _, err := s.EvalOperator(context.Background(), OperatorRequest{Base: baseFragment(1), Op: badOp, Keys: []string{"SAS"}}); err == nil {
 		t.Error("missing detail must error")
 	}
 	badCond := countOp("B.zz = R.SAS")
-	if _, err := s.EvalOperator(OperatorRequest{Base: baseFragment(1), Op: badCond, Keys: []string{"SAS"}}); err == nil {
+	if _, err := s.EvalOperator(context.Background(), OperatorRequest{Base: baseFragment(1), Op: badCond, Keys: []string{"SAS"}}); err == nil {
 		t.Error("unbindable condition must error")
 	}
 }
@@ -216,7 +217,7 @@ func TestEvalLocalPrefix(t *testing.T) {
 		},
 	}
 	// UpTo = 1: base + first operator only.
-	x1, err := s.EvalLocal(LocalRequest{Query: q, UpTo: 1})
+	x1, err := s.EvalLocal(context.Background(), LocalRequest{Query: q, UpTo: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,11 +225,11 @@ func TestEvalLocalPrefix(t *testing.T) {
 		t.Errorf("X1 schema = %s", x1.Schema)
 	}
 	// UpTo = 2: whole chain; verify against the centralized oracle.
-	x2, err := s.EvalLocal(LocalRequest{Query: q, UpTo: 2})
+	x2, err := s.EvalLocal(context.Background(), LocalRequest{Query: q, UpTo: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := gmdj.EvalCentralX(q, s, true)
+	want, err := gmdj.EvalCentralX(q, s.Source(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,13 +237,13 @@ func TestEvalLocalPrefix(t *testing.T) {
 		t.Errorf("EvalLocal != centralized:\n%s\nvs\n%s", x2, want)
 	}
 	// Out-of-range prefix.
-	if _, err := s.EvalLocal(LocalRequest{Query: q, UpTo: 3}); err == nil {
+	if _, err := s.EvalLocal(context.Background(), LocalRequest{Query: q, UpTo: 3}); err == nil {
 		t.Error("UpTo out of range must error")
 	}
 	// Invalid query.
 	bad := q
 	bad.Base.Cols = []string{"zz"}
-	if _, err := s.EvalLocal(LocalRequest{Query: bad, UpTo: 1}); err == nil {
+	if _, err := s.EvalLocal(context.Background(), LocalRequest{Query: bad, UpTo: 1}); err == nil {
 		t.Error("invalid query must error")
 	}
 }
@@ -251,19 +252,19 @@ func TestSetUseHashEquivalence(t *testing.T) {
 	rows := [][3]int64{{1, 1, 5}, {1, 2, 7}, {2, 1, 11}, {2, 2, 13}, {3, 1, 17}}
 	s1 := NewSite(0)
 	s2 := NewSite(0)
-	_ = s1.Load("Flow", flowRel(rows...))
-	_ = s2.Load("Flow", flowRel(rows...))
+	_ = s1.Load(context.Background(), "Flow", flowRel(rows...))
+	_ = s2.Load(context.Background(), "Flow", flowRel(rows...))
 	s2.SetUseHash(false)
 	req := OperatorRequest{
 		Base: baseFragment(1, 2, 3, 4),
 		Op:   countOp("B.SAS = R.SAS && R.NB > 6"),
 		Keys: []string{"SAS"},
 	}
-	h1, err := s1.EvalOperator(req)
+	h1, err := s1.EvalOperator(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2, err := s2.EvalOperator(req)
+	h2, err := s2.EvalOperator(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,6 +58,8 @@ type DataSource interface {
 }
 
 // Data is a map-based DataSource over materialized relations.
+//
+//skallavet:allow stringkey -- catalog keyed by relation name: resolved once per query, not per tuple
 type Data map[string]*relation.Relation
 
 // DetailSchema implements SchemaSource.

@@ -118,6 +118,8 @@ type SchemaSourceFunc func(string) (relation.Schema, error)
 func (f SchemaSourceFunc) DetailSchema(name string) (relation.Schema, error) { return f(name) }
 
 // Schemas is a map-based SchemaSource.
+//
+//skallavet:allow stringkey -- catalog keyed by relation name: planning metadata, not tuple traffic
 type Schemas map[string]relation.Schema
 
 // DetailSchema implements SchemaSource.

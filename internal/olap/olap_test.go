@@ -133,7 +133,7 @@ func TestCubeDistributed(t *testing.T) {
 	for i, region := range []string{"east", "west"} {
 		es := engine.NewSite(i)
 		part := global.Filter(func(tp relation.Tuple) bool { return tp[ri].Str == region })
-		if err := es.Load("Sales", part); err != nil {
+		if err := es.Load(context.Background(), "Sales", part); err != nil {
 			t.Fatal(err)
 		}
 		sites[i] = transport.NewLocalSite(es)

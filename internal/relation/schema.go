@@ -36,6 +36,7 @@ func MustSchema(cols ...Column) Schema {
 
 // Validate checks that column names are non-empty and unique.
 func (s Schema) Validate() error {
+	//skallavet:allow stringkey -- column-name uniqueness check: runs once per schema validation
 	seen := make(map[string]struct{}, len(s))
 	for i, c := range s {
 		if c.Name == "" {

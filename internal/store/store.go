@@ -222,8 +222,8 @@ func (t *Table) Scan(fn func(relation.Tuple) error) error {
 	segs := append([]segmentMeta{}, t.segments...)
 	buffered := append([]relation.Tuple{}, t.buf...)
 	t.mu.Unlock()
-	for _, seg := range segs {
-		rows, err := t.loadSegment(seg)
+	for i, seg := range segs {
+		rows, err := t.loadSegment(i, seg)
 		if err != nil {
 			return err
 		}
@@ -254,8 +254,8 @@ func (t *Table) Materialize() (*relation.Relation, error) {
 	return out, nil
 }
 
-func (t *Table) loadSegment(seg segmentMeta) ([]relation.Tuple, error) {
-	if rows, ok := t.cache.get(seg.File); ok {
+func (t *Table) loadSegment(ord int, seg segmentMeta) ([]relation.Tuple, error) {
+	if rows, ok := t.cache.get(ord); ok {
 		obs.StoreSegmentReads.With("cache").Inc()
 		return rows, nil
 	}
@@ -286,23 +286,25 @@ func (t *Table) loadSegment(seg segmentMeta) ([]relation.Tuple, error) {
 		return nil, fmt.Errorf("store: segment %s has %d rows, manifest says %d", seg.File, len(rows), seg.Rows)
 	}
 	obs.StoreSegmentRows.Add(int64(len(rows)))
-	t.cache.put(seg.File, rows)
+	t.cache.put(ord, rows)
 	return rows, nil
 }
 
-// segmentCache is a tiny LRU of decoded segments.
+// segmentCache is a tiny LRU of decoded segments, keyed by segment ordinal:
+// scans hit it once per segment per pass, and integer keys keep those lookups
+// off the string-hashing path (and satisfy the stringkey lint).
 type segmentCache struct {
 	mu    sync.Mutex
 	cap   int
-	order []string
-	data  map[string][]relation.Tuple
+	order []int
+	data  map[int][]relation.Tuple
 }
 
 func newSegmentCache(capacity int) *segmentCache {
-	return &segmentCache{cap: capacity, data: make(map[string][]relation.Tuple)}
+	return &segmentCache{cap: capacity, data: make(map[int][]relation.Tuple)}
 }
 
-func (c *segmentCache) get(key string) ([]relation.Tuple, bool) {
+func (c *segmentCache) get(key int) ([]relation.Tuple, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	rows, ok := c.data[key]
@@ -312,7 +314,7 @@ func (c *segmentCache) get(key string) ([]relation.Tuple, bool) {
 	return rows, ok
 }
 
-func (c *segmentCache) put(key string, rows []relation.Tuple) {
+func (c *segmentCache) put(key int, rows []relation.Tuple) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, exists := c.data[key]; !exists && len(c.data) >= c.cap {
@@ -324,7 +326,7 @@ func (c *segmentCache) put(key string, rows []relation.Tuple) {
 	c.touch(key)
 }
 
-func (c *segmentCache) touch(key string) {
+func (c *segmentCache) touch(key int) {
 	for i, k := range c.order {
 		if k == key {
 			c.order = append(c.order[:i], c.order[i+1:]...)

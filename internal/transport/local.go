@@ -67,7 +67,7 @@ func (l *LocalSite) roundTrip(ctx context.Context, req *Request) (*Response, sta
 	if err := l.downDec.Decode(&decReq); err != nil {
 		return nil, stats.Call{}, fmt.Errorf("transport: decode request: %w", err)
 	}
-	resp := dispatch(l.site, &decReq)
+	resp := dispatch(ctx, l.site, &decReq)
 	if err := l.upEnc.Encode(resp); err != nil {
 		return nil, stats.Call{}, fmt.Errorf("transport: encode response: %w", err)
 	}
@@ -130,7 +130,7 @@ func (l *LocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorR
 	dec := relation.NewDecoder(&l.upBuf)
 	dec.SetPool(&l.pool)
 	start := time.Now()
-	evalErr := l.site.EvalOperatorBlocks(*decReq.Operator, func(block *relation.Relation) error {
+	evalErr := l.site.EvalOperatorBlocks(ctx, *decReq.Operator, func(block *relation.Relation) error {
 		if err := enc.Encode(block); err != nil {
 			return err
 		}
@@ -170,18 +170,18 @@ func (l *LocalSite) EvalLocal(ctx context.Context, req engine.LocalRequest) (*re
 }
 
 // DetailSchema implements Site. Metadata calls bypass traffic accounting.
-func (l *LocalSite) DetailSchema(_ context.Context, name string) (relation.Schema, error) {
-	return l.site.DetailSchema(name)
+func (l *LocalSite) DetailSchema(ctx context.Context, name string) (relation.Schema, error) {
+	return l.site.DetailSchema(ctx, name)
 }
 
 // Tables implements Site.
-func (l *LocalSite) Tables(_ context.Context) ([]engine.TableInfo, error) {
-	return l.site.Tables(), nil
+func (l *LocalSite) Tables(ctx context.Context) ([]engine.TableInfo, error) {
+	return l.site.Tables(ctx), nil
 }
 
 // Load implements Loader, installing a partition directly.
-func (l *LocalSite) Load(_ context.Context, name string, rel *relation.Relation) error {
-	return l.site.Load(name, rel)
+func (l *LocalSite) Load(ctx context.Context, name string, rel *relation.Relation) error {
+	return l.site.Load(ctx, name, rel)
 }
 
 // FastLocalSite is a zero-serialization variant of LocalSite for unit tests
@@ -201,7 +201,7 @@ func (f *FastLocalSite) call(ctx context.Context, req *Request) (*Response, stat
 	if err := ctx.Err(); err != nil {
 		return nil, stats.Call{}, err
 	}
-	resp := dispatch(f.site, req)
+	resp := dispatch(ctx, f.site, req)
 	call := callFromSizes(f.site.ID(), req, resp, 0, 0)
 	if resp.Err != "" {
 		return nil, call, errors.New(resp.Err)
@@ -234,7 +234,7 @@ func (f *FastLocalSite) EvalOperatorStream(ctx context.Context, req engine.Opera
 	}
 	call := stats.Call{Site: f.site.ID(), RowsDown: baseRows(req)}
 	start := time.Now()
-	err := f.site.EvalOperatorBlocks(req, func(block *relation.Relation) error {
+	err := f.site.EvalOperatorBlocks(ctx, req, func(block *relation.Relation) error {
 		call.RowsUp += block.Len()
 		return sink(block)
 	})
@@ -276,16 +276,16 @@ func (f *FastLocalSite) EvalLocal(ctx context.Context, req engine.LocalRequest) 
 }
 
 // DetailSchema implements Site.
-func (f *FastLocalSite) DetailSchema(_ context.Context, name string) (relation.Schema, error) {
-	return f.site.DetailSchema(name)
+func (f *FastLocalSite) DetailSchema(ctx context.Context, name string) (relation.Schema, error) {
+	return f.site.DetailSchema(ctx, name)
 }
 
 // Tables implements Site.
-func (f *FastLocalSite) Tables(_ context.Context) ([]engine.TableInfo, error) {
-	return f.site.Tables(), nil
+func (f *FastLocalSite) Tables(ctx context.Context) ([]engine.TableInfo, error) {
+	return f.site.Tables(ctx), nil
 }
 
 // Load implements Loader.
-func (f *FastLocalSite) Load(_ context.Context, name string, rel *relation.Relation) error {
-	return f.site.Load(name, rel)
+func (f *FastLocalSite) Load(ctx context.Context, name string, rel *relation.Relation) error {
+	return f.site.Load(ctx, name, rel)
 }

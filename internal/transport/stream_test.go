@@ -143,7 +143,7 @@ func TestEvalOperatorStreamEvalError(t *testing.T) {
 func TestEngineBlockedEquivalence(t *testing.T) {
 	es := testSite(t, 0)
 	req := opRequest()
-	whole, err := es.EvalOperator(req)
+	whole, err := es.EvalOperator(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestEngineBlockedEquivalence(t *testing.T) {
 		breq := req
 		breq.BlockRows = blockRows
 		merged := relation.New(whole.Schema)
-		if err := es.EvalOperatorBlocks(breq, func(b *relation.Relation) error {
+		if err := es.EvalOperatorBlocks(context.Background(), breq, func(b *relation.Relation) error {
 			return merged.Union(b)
 		}); err != nil {
 			t.Fatal(err)

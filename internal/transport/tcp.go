@@ -37,6 +37,12 @@ type Server struct {
 	ln   net.Listener
 	log  *slog.Logger
 
+	// baseCtx parents every connection's serving context; cancel fires on
+	// Close so in-flight evaluations observe shutdown instead of running to
+	// completion against closed connections.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
@@ -45,17 +51,29 @@ type Server struct {
 
 // Serve starts serving a backend — a site engine or a relay — on the given
 // address ("host:port"; use ":0" for an ephemeral port) and returns
-// immediately.
+// immediately. It is the convenience lifecycle root; use ServeContext to tie
+// the server's evaluations to an existing context tree.
 func Serve(site Backend, addr string) (*Server, error) {
+	//skallavet:allow ctxcall -- lifecycle root: ServeContext is the context-threading variant
+	return ServeContext(context.Background(), site, addr)
+}
+
+// ServeContext is Serve under a parent context: every request dispatched to
+// the backend carries a context derived from it (and canceled on Close), so
+// daemon shutdown propagates into running evaluations.
+func ServeContext(ctx context.Context, site Backend, addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	baseCtx, cancel := context.WithCancel(ctx)
 	s := &Server{
-		site:  site,
-		ln:    ln,
-		log:   obs.Logger().With("site", site.ID()),
-		conns: make(map[net.Conn]struct{}),
+		site:    site,
+		ln:      ln,
+		log:     obs.Logger().With("site", site.ID()),
+		baseCtx: baseCtx,
+		cancel:  cancel,
+		conns:   make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -77,6 +95,7 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.cancel()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
@@ -104,6 +123,10 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(rawConn net.Conn) {
 	defer s.wg.Done()
+	// Per-connection context: canceled when this handler exits or the server
+	// closes, so backend evaluations stop with their connection.
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
 	log := s.log.With("remote", rawConn.RemoteAddr().String())
 	obs.ServerActiveConns.Add(1)
 	log.Debug("connection open")
@@ -129,7 +152,7 @@ func (s *Server) handle(rawConn net.Conn) {
 			return // connection closed or corrupt stream
 		}
 		if req.Kind == KindOperator {
-			err := s.streamOperator(conn, enc, &req)
+			err := s.streamOperator(ctx, conn, enc, &req)
 			bytesDown.Add(conn.read - r0)
 			bytesUp.Add(conn.written - w0)
 			if err != nil {
@@ -138,7 +161,7 @@ func (s *Server) handle(rawConn net.Conn) {
 			}
 			continue
 		}
-		resp := dispatch(s.site, &req)
+		resp := dispatch(ctx, s.site, &req)
 		err := enc.Encode(resp)
 		bytesDown.Add(conn.read - r0)
 		bytesUp.Add(conn.written - w0)
@@ -155,7 +178,7 @@ func (s *Server) handle(rawConn net.Conn) {
 // already failed, the connection is broken — the end marker and terminal
 // response are doomed too, so they are skipped and the handler exits with the
 // original write error instead of failing (and logging) twice.
-func (s *Server) streamOperator(conn net.Conn, enc *gob.Encoder, req *Request) error {
+func (s *Server) streamOperator(ctx context.Context, conn net.Conn, enc *gob.Encoder, req *Request) error {
 	obs.ServerRequests.With(kindName(KindOperator)).Inc()
 	start := time.Now()
 	var evalErr error
@@ -165,7 +188,7 @@ func (s *Server) streamOperator(conn net.Conn, enc *gob.Encoder, req *Request) e
 	} else {
 		blockEnc := relation.NewEncoder(conn)
 		marker := [1]byte{opStreamBlock}
-		evalErr = s.site.EvalOperatorBlocks(*req.Operator, func(block *relation.Relation) error {
+		evalErr = s.site.EvalOperatorBlocks(ctx, *req.Operator, func(block *relation.Relation) error {
 			if _, err := conn.Write(marker[:]); err != nil {
 				connBroken = true
 				return err
@@ -248,6 +271,7 @@ type Client struct {
 // its identity, bounded by defaultDialTimeout. Use DialContext to control
 // the deadline.
 func Dial(addr string) (*Client, error) {
+	//skallavet:allow ctxcall -- lifecycle root mirroring net.DialTimeout; DialContext is the context-threading variant
 	ctx, cancel := context.WithTimeout(context.Background(), defaultDialTimeout)
 	defer cancel()
 	return DialContext(ctx, addr)

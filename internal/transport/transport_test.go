@@ -22,7 +22,7 @@ func testSite(t *testing.T, id int) *engine.Site {
 	for i := 0; i < 10; i++ {
 		r.MustAppend(relation.Tuple{relation.NewInt(int64(i % 3)), relation.NewInt(int64(i))})
 	}
-	if err := s.Load("T", r); err != nil {
+	if err := s.Load(context.Background(), "T", r); err != nil {
 		t.Fatal(err)
 	}
 	return s

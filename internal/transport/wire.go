@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -60,26 +61,29 @@ type Response struct {
 	More      bool
 }
 
-// Backend is what a transport endpoint serves: the context-free evaluation
-// surface of a local warehouse. *engine.Site implements it directly; relay
-// nodes (core.Relay, the multi-tier coordinator architecture) implement it
-// too, so a mid-tier aggregation process is served exactly like a site.
+// Backend is what a transport endpoint serves: the evaluation surface of a
+// local warehouse. *engine.Site implements it directly; relay nodes
+// (core.Relay, the multi-tier coordinator architecture) implement it too, so
+// a mid-tier aggregation process is served exactly like a site. Every
+// evaluation method takes the serving context so cancellation (a dropped
+// coordinator connection, a per-attempt fault-tolerance timeout) propagates
+// all the way down the tree instead of stranding work at the leaves.
 type Backend interface {
 	ID() int
-	EvalBase(bq gmdj.BaseQuery) (*relation.Relation, error)
-	EvalOperatorBlocks(req engine.OperatorRequest, emit func(*relation.Relation) error) error
-	EvalLocal(req engine.LocalRequest) (*relation.Relation, error)
-	DetailSchema(name string) (relation.Schema, error)
-	Load(name string, rel *relation.Relation) error
+	EvalBase(ctx context.Context, bq gmdj.BaseQuery) (*relation.Relation, error)
+	EvalOperatorBlocks(ctx context.Context, req engine.OperatorRequest, emit func(*relation.Relation) error) error
+	EvalLocal(ctx context.Context, req engine.LocalRequest) (*relation.Relation, error)
+	DetailSchema(ctx context.Context, name string) (relation.Schema, error)
+	Load(ctx context.Context, name string, rel *relation.Relation) error
 	// Tables lists the relations the backend serves (aggregated across the
 	// subtree for relays).
-	Tables() []engine.TableInfo
+	Tables(ctx context.Context) []engine.TableInfo
 }
 
 // collectBlocks adapts EvalOperatorBlocks to a single relation.
-func collectBlocks(b Backend, req engine.OperatorRequest) (*relation.Relation, error) {
+func collectBlocks(ctx context.Context, b Backend, req engine.OperatorRequest) (*relation.Relation, error) {
 	var h *relation.Relation
-	err := b.EvalOperatorBlocks(req, func(block *relation.Relation) error {
+	err := b.EvalOperatorBlocks(ctx, req, func(block *relation.Relation) error {
 		if h == nil {
 			h = block
 			return nil
@@ -93,7 +97,7 @@ func collectBlocks(b Backend, req engine.OperatorRequest) (*relation.Relation, e
 }
 
 // dispatch executes a request against a backend, measuring compute time.
-func dispatch(site Backend, req *Request) *Response {
+func dispatch(ctx context.Context, site Backend, req *Request) *Response {
 	obs.ServerRequests.With(kindName(req.Kind)).Inc()
 	start := time.Now()
 	resp := &Response{SiteID: site.ID()}
@@ -105,26 +109,26 @@ func dispatch(site Backend, req *Request) *Response {
 		if req.Base == nil {
 			err = fmt.Errorf("transport: base request without query")
 		} else {
-			resp.Rel, err = site.EvalBase(*req.Base)
+			resp.Rel, err = site.EvalBase(ctx, *req.Base)
 		}
 	case KindOperator:
 		if req.Operator == nil {
 			err = fmt.Errorf("transport: operator request without payload")
 		} else {
-			resp.Rel, err = collectBlocks(site, *req.Operator)
+			resp.Rel, err = collectBlocks(ctx, site, *req.Operator)
 		}
 	case KindLocal:
 		if req.Local == nil {
 			err = fmt.Errorf("transport: local request without payload")
 		} else {
-			resp.Rel, err = site.EvalLocal(*req.Local)
+			resp.Rel, err = site.EvalLocal(ctx, *req.Local)
 		}
 	case KindSchema:
-		resp.Schema, err = site.DetailSchema(req.Schema)
+		resp.Schema, err = site.DetailSchema(ctx, req.Schema)
 	case KindLoad:
-		err = site.Load(req.LoadName, req.LoadRel)
+		err = site.Load(ctx, req.LoadName, req.LoadRel)
 	case KindTables:
-		resp.Tables = site.Tables()
+		resp.Tables = site.Tables(ctx)
 	default:
 		err = fmt.Errorf("transport: unknown request kind %d", req.Kind)
 	}

@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/wire_schema.golden from the current wire structs")
+
+const wireSchemaGolden = "testdata/wire_schema.golden"
+
+// wireFingerprint renders the gob envelope structs as the canonical
+// append-only schema fingerprint: one "Struct.Field type" line per field, in
+// declaration order, types in reflect.Type.String notation (which matches the
+// go/types package-name qualification the wirecompat analyzer uses).
+func wireFingerprint() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("# Skalla gob wire fingerprint — append-only contract.\n")
+	buf.WriteString("# Regenerate with: go test ./internal/transport -run TestWireSchemaGolden -update\n")
+	buf.WriteString("# Existing lines must never change; new fields append at the end of their struct.\n")
+	for _, s := range []struct {
+		name string
+		t    reflect.Type
+	}{
+		{"Request", reflect.TypeOf(Request{})},
+		{"Response", reflect.TypeOf(Response{})},
+	} {
+		for i := 0; i < s.t.NumField(); i++ {
+			f := s.t.Field(i)
+			fmt.Fprintf(&buf, "%s.%s %s\n", s.name, f.Name, f.Type.String())
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestWireSchemaGolden holds the committed fingerprint exactly up to date:
+// the wirecompat analyzer only requires the golden to be a prefix (so builds
+// against an already-updated golden still pass), while this test pins the
+// full current schema and is the one place allowed to rewrite it.
+func TestWireSchemaGolden(t *testing.T) {
+	got := wireFingerprint()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(wireSchemaGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		prev, err := os.ReadFile(wireSchemaGolden)
+		if err == nil && !bytes.HasPrefix(stripComments(got), stripComments(prev)) {
+			t.Fatalf("refusing to update: current schema is not an append-only extension of the committed fingerprint\n-- committed --\n%s\n-- current --\n%s", prev, got)
+		}
+		if err := os.WriteFile(wireSchemaGolden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(wireSchemaGolden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wire schema fingerprint is stale.\nIf you APPENDED fields, rerun with -update.\nIf existing lines changed, the change breaks gob wire compatibility with old peers — revert it.\n-- committed --\n%s\n-- current --\n%s", want, got)
+	}
+}
+
+// TestWireFingerprintByteStable guards the -update path itself: regeneration
+// must be deterministic, byte for byte, or the golden would churn on every
+// run and the append-only diff discipline would be unreviewable.
+func TestWireFingerprintByteStable(t *testing.T) {
+	a, b := wireFingerprint(), wireFingerprint()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fingerprint generation is not byte-stable:\n-- first --\n%s\n-- second --\n%s", a, b)
+	}
+}
+
+// stripComments drops '#' comment and blank lines so prefix comparison sees
+// only field lines.
+func stripComments(b []byte) []byte {
+	var out bytes.Buffer
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 || trimmed[0] == '#' {
+			continue
+		}
+		out.Write(trimmed)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}

@@ -126,7 +126,7 @@ func TestFacadeRowBlocking(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer blocked.Close()
-	if err := blocked.LoadPartitions("Flow", d.Parts); err != nil {
+	if err := blocked.LoadPartitions(context.Background(), "Flow", d.Parts); err != nil {
 		t.Fatal(err)
 	}
 	q := flowQuery(t)

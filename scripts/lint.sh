@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Lint gate: gofmt, stock go vet, and the repo's own skallavet analyzer suite
+# (tools/skallavet) over the main module, plus the tools module's tests so the
+# analyzers themselves stay green. Run from the repo root; CI runs this
+# exact script.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo"
+
+echo "==> gofmt"
+unformatted=$(gofmt -l . | grep -v '/testdata/' || true)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:"
+  echo "$unformatted"
+  exit 1
+fi
+
+echo "==> go vet (stock analyzers)"
+go vet ./...
+
+echo "==> build skallavet"
+vettool="${TMPDIR:-/tmp}/skallavet"
+go build -C tools/skallavet -o "$vettool" .
+
+echo "==> skallavet (main module)"
+go vet -vettool="$vettool" ./...
+
+echo "==> skallavet (tools module)"
+(cd tools/skallavet && go vet -vettool="$vettool" ./...)
+
+echo "==> tools module tests"
+(cd tools/skallavet && go test ./...)
+
+echo "lint passed"

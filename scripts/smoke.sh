@@ -2,60 +2,85 @@
 # End-to-end smoke test: build the binaries, generate a tiny dataset, start a
 # site with observability endpoints, run one distributed query through the
 # coordinator, and assert /healthz and /metrics look right.
+#
+# Failure discipline: set -eu plus explicit exit-code checks on every stage,
+# and a liveness probe (kill -0) on the site daemon before each assertion —
+# a site that crashes mid-run fails the script immediately with its log
+# dumped, instead of the readiness loop timing out or curl asserting against
+# a dead endpoint.
 set -eu
 
 workdir=$(mktemp -d)
 site_pid=""
+site_log=""
 trap 'kill $site_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+fail() {
+  echo "SMOKE FAILURE: $1" >&2
+  if [ -n "$site_log" ] && [ -f "$site_log" ]; then
+    echo "---- site log ----" >&2
+    cat "$site_log" >&2
+    echo "------------------" >&2
+  fi
+  exit 1
+}
+
+# site_alive fails the whole run loudly if the site daemon has exited.
+site_alive() {
+  kill -0 "$site_pid" 2>/dev/null || fail "site daemon died ($1)"
+}
 
 echo "==> build"
 mkdir -p "$workdir/bin"
-go build -o "$workdir/bin/" ./cmd/...
+go build -o "$workdir/bin/" ./cmd/... || fail "go build ./cmd/... failed"
 
 echo "==> generate dataset"
 "$workdir/bin/tpcgen" -out "$workdir/tpcr" -kind tpc -sites 2 -rows 2000 \
-  -customers 500 -seed 1
+  -customers 500 -seed 1 || fail "tpcgen failed"
 
 echo "==> start site"
+site_log="$workdir/site.log"
 "$workdir/bin/skalla-site" -addr 127.0.0.1:7471 -site 0 -data "$workdir/tpcr" \
-  -obs-addr 127.0.0.1:9471 -log-level info &
+  -obs-addr 127.0.0.1:9471 -log-level info >"$site_log" 2>&1 &
 site_pid=$!
 
 echo "==> wait for readiness"
 ready=""
 for _ in $(seq 1 50); do
+  site_alive "during readiness wait"
   if curl -sf http://127.0.0.1:9471/healthz >/dev/null 2>&1; then
     ready=yes
     break
   fi
   sleep 0.2
 done
-[ -n "$ready" ] || { echo "site never became ready"; exit 1; }
+[ -n "$ready" ] || fail "site never became ready"
 curl -s http://127.0.0.1:9471/healthz | grep -q '"status":"ok"' \
-  || { echo "healthz not ok"; exit 1; }
+  || fail "healthz not ok"
 
 echo "==> run query"
 "$workdir/bin/skalla-coordinator" -sites 127.0.0.1:7471 -data "$workdir/tpcr" \
   -q 'base TPCR key NationKey
 op B.NationKey = R.NationKey :: count(*) as items, avg(ExtendedPrice) as avgPrice' \
-  -opts none -stats-json "$workdir/stats.json"
+  -opts none -stats-json "$workdir/stats.json" || fail "coordinator query failed"
 
 grep -q '"summary"' "$workdir/stats.json" \
-  || { echo "stats JSON missing summary"; exit 1; }
+  || fail "stats JSON missing summary"
 
 echo "==> check metrics"
-metrics=$(curl -s http://127.0.0.1:9471/metrics)
+site_alive "before metrics scrape"
+metrics=$(curl -s http://127.0.0.1:9471/metrics) || fail "metrics scrape failed"
 for family in \
   skalla_server_requests_total \
   skalla_server_bytes_total \
   skalla_codec_encode_bytes_total \
   skalla_engine_evals_total; do
   echo "$metrics" | grep -q "^$family" \
-    || { echo "metrics missing $family"; exit 1; }
+    || fail "metrics missing $family"
 done
 # The served base request must be counted.
 echo "$metrics" | grep 'skalla_server_requests_total{kind="base"}' \
-  | grep -qv ' 0$' || { echo "base request not counted"; exit 1; }
+  | grep -qv ' 0$' || fail "base request not counted"
 
 echo "==> shut down"
 kill $site_pid

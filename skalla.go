@@ -16,7 +16,7 @@
 //	cluster, _ := skalla.NewLocalCluster(4)
 //	defer cluster.Close()
 //	for i, part := range partitions {
-//	    cluster.Load(i, "Flow", part)
+//	    cluster.Load(ctx, i, "Flow", part)
 //	}
 //	q, _ := skalla.NewQuery("Flow", "SourceAS", "DestAS").
 //	    Op("B.SourceAS = R.SourceAS && B.DestAS = R.DestAS",
@@ -368,22 +368,23 @@ func applyOptions(opts []ClusterOption) *clusterConfig {
 // NumSites returns the number of sites in the cluster.
 func (c *Cluster) NumSites() int { return len(c.sites) }
 
-// Load installs a relation partition at one site.
-func (c *Cluster) Load(site int, name string, rel *Relation) error {
+// Load installs a relation partition at one site. The context bounds the
+// transfer (for TCP-connected sites the partition crosses the wire).
+func (c *Cluster) Load(ctx context.Context, site int, name string, rel *Relation) error {
 	if site < 0 || site >= len(c.loaders) {
 		return fmt.Errorf("skalla: site %d of %d", site, len(c.loaders))
 	}
-	return c.loaders[site].Load(context.Background(), name, rel)
+	return c.loaders[site].Load(ctx, name, rel)
 }
 
 // LoadPartitions installs parts[i] at site i; len(parts) must match the
 // cluster size.
-func (c *Cluster) LoadPartitions(name string, parts []*Relation) error {
+func (c *Cluster) LoadPartitions(ctx context.Context, name string, parts []*Relation) error {
 	if len(parts) != len(c.loaders) {
 		return fmt.Errorf("skalla: %d partitions for %d sites", len(parts), len(c.loaders))
 	}
 	for i, p := range parts {
-		if err := c.Load(i, name, p); err != nil {
+		if err := c.Load(ctx, i, name, p); err != nil {
 			return err
 		}
 	}

@@ -37,7 +37,7 @@ func loadedFlowCluster(t *testing.T, opts ...ClusterOption) (*Cluster, *flow.Dat
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.LoadPartitions("Flow", d.Parts); err != nil {
+	if err := cl.LoadPartitions(context.Background(), "Flow", d.Parts); err != nil {
 		t.Fatal(err)
 	}
 	return cl, d
@@ -135,7 +135,7 @@ func TestOpOnDifferentRelation(t *testing.T) {
 	cl, d := loadedFlowCluster(t)
 	defer cl.Close()
 	// Load a second relation: the same flows under another name.
-	if err := cl.LoadPartitions("Flow2", d.Parts); err != nil {
+	if err := cl.LoadPartitions(context.Background(), "Flow2", d.Parts); err != nil {
 		t.Fatal(err)
 	}
 	q, err := NewQuery("Flow", "SourceAS").
@@ -170,10 +170,10 @@ func TestClusterErrors(t *testing.T) {
 		t.Errorf("NumSites = %d", cl.NumSites())
 	}
 	rel := NewRelation(Schema{Column{Name: "x", Kind: 1}})
-	if err := cl.Load(5, "T", rel); err == nil {
+	if err := cl.Load(context.Background(), 5, "T", rel); err == nil {
 		t.Error("out-of-range site must error")
 	}
-	if err := cl.LoadPartitions("T", []*Relation{rel}); err == nil {
+	if err := cl.LoadPartitions(context.Background(), "T", []*Relation{rel}); err == nil {
 		t.Error("partition count mismatch must error")
 	}
 	if _, err := Connect(nil); err == nil {
@@ -203,7 +203,7 @@ func TestConnectTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.LoadPartitions("Flow", d.Parts); err != nil {
+	if err := cl.LoadPartitions(context.Background(), "Flow", d.Parts); err != nil {
 		t.Fatal(err)
 	}
 	q := flowQuery(t)
@@ -230,7 +230,7 @@ func TestSerializedTransportOption(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.LoadPartitions("Flow", d.Parts); err != nil {
+	if err := cl.LoadPartitions(context.Background(), "Flow", d.Parts); err != nil {
 		t.Fatal(err)
 	}
 	res, err := cl.Execute(context.Background(), flowQuery(t), NoOptimizations())
@@ -256,7 +256,7 @@ func TestTPCDatasetThroughFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.LoadPartitions(tpc.RelationName, d.Parts); err != nil {
+	if err := cl.LoadPartitions(context.Background(), tpc.RelationName, d.Parts); err != nil {
 		t.Fatal(err)
 	}
 	q, err := NewQuery(tpc.RelationName, "CustName").
@@ -300,7 +300,7 @@ func TestTieredLocalCluster(t *testing.T) {
 		t.Fatalf("tiered shape: %d sites, %d leaves", tiered.NumSites(), tiered.NumLeafSites())
 	}
 	for _, cl := range []*Cluster{flat, tiered} {
-		if err := cl.LoadPartitions("Flow", d.Parts); err != nil {
+		if err := cl.LoadPartitions(context.Background(), "Flow", d.Parts); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,133 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis core: just enough surface (Analyzer, Pass,
+// diagnostics, directive-based suppression) to write Skalla's invariant
+// checkers against, without pulling an external module into the build. The
+// API deliberately mirrors x/tools so the analyzers read familiarly and
+// could be ported onto the real framework if a vendored copy ever becomes
+// available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //skallavet:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's parsed files (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info is the type information for Files.
+	Info *types.Info
+	// Dir is the directory containing the package's source files; analyzers
+	// that read side files (e.g. the wirecompat golden schema) resolve them
+	// against it.
+	Dir string
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file enclosing pos is a _test.go file.
+// Invariants about library code do not apply to tests, which routinely use
+// context.Background, std-log output, and string-keyed fixtures.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Finding is a diagnostic resolved to a concrete position, tagged with the
+// analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Package bundles a loaded, type-checked package for the runner.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Dir   string
+}
+
+// Run applies analyzers to one package and returns the surviving findings,
+// with //skallavet:allow suppressions already applied and results ordered by
+// position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	allow := collectAllows(pkg.Fset, pkg.Files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Dir:      pkg.Dir,
+		}
+		var diags []Diagnostic
+		pass.report = func(d Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range diags {
+			posn := pkg.Fset.Position(d.Pos)
+			if allow.allows(a.Name, posn) {
+				continue
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && lessFinding(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func lessFinding(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	return a.Pos.Column < b.Pos.Column
+}

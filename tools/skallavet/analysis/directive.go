@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression directive. It follows the Go directive
+// convention (no space after //):
+//
+//	//skallavet:allow rule1,rule2 -- justification
+//
+// A directive suppresses the named rules on its own line (trailing-comment
+// form) and on the line immediately below it (standalone form). The
+// justification after "--" is mandatory by convention — an allow without a
+// reason should not survive review — but the parser only requires the rule
+// list.
+const allowPrefix = "//skallavet:allow"
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type allowSet map[lineKey]map[string]bool
+
+func (s allowSet) allows(rule string, pos token.Position) bool {
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if rules, ok := s[lineKey{pos.Filename, line}]; ok && (rules[rule] || rules["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows gathers every //skallavet:allow directive in the files.
+// The returned set is keyed by the directive's own line; allows() also
+// honors a directive one line above the diagnostic.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	out := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				if rest == "" {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := lineKey{posn.Filename, posn.Line}
+				if out[key] == nil {
+					out[key] = map[string]bool{}
+				}
+				for _, rule := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					out[key][rule] = true
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+// Package blockpool enforces the pooled-block ownership protocol of the
+// data plane: every block obtained from relation.(*BlockPool).Get must be
+// released exactly once — either directly via relation.Recycle, or by
+// transferring ownership (handing the block to another function such as an
+// emit sink or a stage's Add, returning it, or storing it into a structure
+// whose release path owns it, like hStage.pool). A block that a function
+// both acquires and forgets leaks pooled storage out of the sync.Pool; a
+// block recycled twice corrupts the pool with aliased tuple storage.
+//
+// The analysis is per-function and deliberately conservative in what it
+// calls a transfer:
+//
+//   - leak: the Get result is bound to a variable that is never passed to
+//     Recycle, never passed to any other call, never returned, and never
+//     stored anywhere — i.e. provably dropped on every path;
+//   - double recycle: two relation.Recycle calls on the same variable in
+//     the same statement list with no reassignment in between — provably
+//     both execute.
+//
+// Method calls *on* the block (block.Len(), block.Schema) are reads, not
+// transfers, so "measure it and drop it" still flags.
+package blockpool
+
+import (
+	"go/ast"
+	"go/types"
+
+	"skalla/tools/skallavet/analysis"
+)
+
+// relationPath is the package that owns the pool protocol.
+const relationPath = "skalla/internal/relation"
+
+// Analyzer is the blockpool rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "blockpool",
+	Doc:  "pooled blocks from BlockPool.Get must be recycled or ownership-transferred; never recycled twice",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type acquisition struct {
+	obj      types.Object
+	pos      ast.Expr // the Get call, for reporting
+	recycles []*ast.CallExpr
+	moved    bool // ownership left this function on some path
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	parents := buildParents(fd.Body)
+
+	// Pass 1: find `x := pool.Get(...)` bindings.
+	var acqs []*acquisition
+	byObj := map[types.Object]*acquisition{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isPoolGet(pass, call) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if _, rebound := byObj[obj]; rebound {
+				// `blk = pool.Get(...)` re-binding an already-tracked variable:
+				// keep one acquisition per variable so releases on any binding
+				// count, and assignedBetween suppresses the double-recycle
+				// check across the re-binding.
+				continue
+			}
+			a := &acquisition{obj: obj, pos: call}
+			acqs = append(acqs, a)
+			byObj[obj] = a
+		}
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+
+	// Pass 2: classify every other use of each acquired variable.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		a, tracked := byObj[obj]
+		if !tracked {
+			return true
+		}
+		parent := parents[id]
+		switch p := parent.(type) {
+		case *ast.CallExpr:
+			if p.Fun == ast.Expr(id) {
+				return true // calling the variable, not passing it
+			}
+			if isRecycle(pass, p) {
+				a.recycles = append(a.recycles, p)
+			} else {
+				a.moved = true // argument to some call: ownership transferred
+			}
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+			a.moved = true
+		case *ast.UnaryExpr:
+			if p.Op.String() == "&" {
+				a.moved = true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range p.Rhs {
+				if rhs == ast.Expr(id) {
+					a.moved = true // aliased or stored somewhere
+				}
+			}
+		case *ast.FuncLit:
+			a.moved = true
+		default:
+			// Reads through the variable (selectors, index, range) keep
+			// ownership here; enclosing closures still count as moves.
+			for anc := parent; anc != nil; anc = parents[anc] {
+				if _, isLit := anc.(*ast.FuncLit); isLit {
+					a.moved = true
+					break
+				}
+			}
+		}
+		return true
+	})
+
+	for _, a := range acqs {
+		if len(a.recycles) == 0 && !a.moved {
+			pass.Reportf(a.pos.Pos(),
+				"pooled block %s leaks: no relation.Recycle and no ownership transfer on any path (stage it, emit it, or recycle it)",
+				a.obj.Name())
+		}
+		reportDoubleRecycles(pass, a, parents)
+	}
+}
+
+// reportDoubleRecycles flags two Recycle calls on the same variable that
+// provably both execute: same statement list, no reassignment in between.
+func reportDoubleRecycles(pass *analysis.Pass, a *acquisition, parents map[ast.Node]ast.Node) {
+	type site struct {
+		call  *ast.CallExpr
+		block *ast.BlockStmt
+		idx   int
+	}
+	var sites []site
+	for _, call := range a.recycles {
+		if blk, idx, ok := enclosingStmt(call, parents); ok {
+			sites = append(sites, site{call, blk, idx})
+		}
+	}
+	for i := 0; i < len(sites); i++ {
+		for j := i + 1; j < len(sites); j++ {
+			s1, s2 := sites[i], sites[j]
+			if s1.block != s2.block {
+				continue
+			}
+			lo, hi := s1.idx, s2.idx
+			var second *ast.CallExpr = s2.call
+			if lo > hi {
+				lo, hi = hi, lo
+				second = s1.call
+			}
+			if !assignedBetween(pass, a.obj, s1.block.List[lo+1:hi]) {
+				pass.Reportf(second.Pos(),
+					"pooled block %s recycled twice on the same path: the second Recycle corrupts the pool with aliased storage",
+					a.obj.Name())
+			}
+		}
+	}
+}
+
+func assignedBetween(pass *analysis.Pass, obj types.Object, stmts []ast.Stmt) bool {
+	for _, st := range stmts {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if pass.Info.Uses[id] == obj || pass.Info.Defs[id] == obj {
+						found = true
+					}
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingStmt walks up to the nearest BlockStmt and returns the index of
+// the top-level statement within it that contains n.
+func enclosingStmt(n ast.Node, parents map[ast.Node]ast.Node) (*ast.BlockStmt, int, bool) {
+	child := n
+	for anc := parents[n]; anc != nil; child, anc = anc, parents[anc] {
+		blk, ok := anc.(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		for i, st := range blk.List {
+			if st == child {
+				return blk, i, true
+			}
+		}
+		return nil, 0, false
+	}
+	return nil, 0, false
+}
+
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// isPoolGet matches relation.(*BlockPool).Get.
+func isPoolGet(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Get" || fn.Pkg() == nil || fn.Pkg().Path() != relationPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "BlockPool"
+}
+
+// isRecycle matches relation.Recycle(x).
+func isRecycle(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	return ok && fn.Name() == "Recycle" && fn.Pkg() != nil && fn.Pkg().Path() == relationPath
+}

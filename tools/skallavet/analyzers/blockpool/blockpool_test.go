@@ -1,0 +1,12 @@
+package blockpool_test
+
+import (
+	"testing"
+
+	"skalla/tools/skallavet/analyzers/blockpool"
+	"skalla/tools/skallavet/internal/checktest"
+)
+
+func TestPoolProtocol(t *testing.T) {
+	checktest.Run(t, blockpool.Analyzer, "pooluser")
+}

@@ -1,0 +1,70 @@
+// Fixture: every (*BlockPool).Get must be balanced by relation.Recycle or an
+// ownership transfer; no variable may be recycled twice on one path.
+package pooluser
+
+import "skalla/internal/relation"
+
+func leak(pool *relation.BlockPool, s relation.Schema) int {
+	blk := pool.Get(s, 8) // want `pooled block blk leaks`
+	return len(blk.Tuples)
+}
+
+func merge(pool *relation.BlockPool, s relation.Schema) int {
+	blk := pool.Get(s, 8) // allowed: recycled below
+	n := len(blk.Tuples)
+	relation.Recycle(blk)
+	return n
+}
+
+func stream(pool *relation.BlockPool, s relation.Schema, emit func(*relation.Relation)) {
+	blk := pool.Get(s, 8) // allowed: ownership transferred to the sink
+	emit(blk)
+}
+
+func handoff(pool *relation.BlockPool, s relation.Schema) *relation.Relation {
+	blk := pool.Get(s, 8) // allowed: returned to the caller
+	return blk
+}
+
+func stage(pool *relation.BlockPool, s relation.Schema) []*relation.Relation {
+	blk := pool.Get(s, 8) // allowed: stored into the staged set
+	pending := []*relation.Relation{blk}
+	return pending
+}
+
+func double(pool *relation.BlockPool, s relation.Schema) {
+	blk := pool.Get(s, 4)
+	relation.Recycle(blk)
+	relation.Recycle(blk) // want `pooled block blk recycled twice`
+}
+
+func branchy(pool *relation.BlockPool, s relation.Schema, fast bool) {
+	blk := pool.Get(s, 4)
+	if fast {
+		relation.Recycle(blk) // allowed: exclusive with the recycle below
+		return
+	}
+	relation.Recycle(blk)
+}
+
+func reuse(pool *relation.BlockPool, s relation.Schema) {
+	blk := pool.Get(s, 4)
+	relation.Recycle(blk)
+	blk = pool.Get(s, 4) // allowed: re-binding separates the two recycles
+	relation.Recycle(blk)
+}
+
+func keepAlive(pool *relation.BlockPool, s relation.Schema) {
+	//skallavet:allow blockpool -- retained in a ring released by Close
+	blk := pool.Get(s, 8)
+	_ = blk.Tuples
+}
+
+type cache struct{}
+
+func (cache) Get(s relation.Schema, rows int) *relation.Relation { return nil }
+
+func notAPool(c cache, s relation.Schema) {
+	blk := c.Get(s, 8) // allowed: Get on a non-BlockPool receiver
+	_ = blk.Tuples
+}

@@ -1,0 +1,23 @@
+// Stub of skalla/internal/relation for analyzer fixtures: just enough
+// surface for blockpool to resolve (*BlockPool).Get and Recycle by package
+// path and receiver type.
+package relation
+
+type Value struct{}
+
+type Tuple []Value
+
+type Schema []string
+
+type Relation struct {
+	Schema Schema
+	Tuples []Tuple
+}
+
+type BlockPool struct{}
+
+func (bp *BlockPool) Get(schema Schema, rows int) *Relation {
+	return &Relation{Schema: schema, Tuples: make([]Tuple, rows)}
+}
+
+func Recycle(r *Relation) {}

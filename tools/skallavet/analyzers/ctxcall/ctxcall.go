@@ -1,0 +1,59 @@
+// Package ctxcall enforces the context-threading invariant behind the
+// fault-tolerance work: every site/transport call chain must carry the
+// caller's context.Context, because cancellation, per-attempt timeouts, and
+// query-ID propagation all ride on it. A context.Background() (or TODO())
+// buried in library code detaches everything below it from coordinator
+// deadlines — exactly the bug the Relay fan-out had before contexts were
+// threaded through transport.Backend.
+//
+// The rule: no context.Background or context.TODO in library packages.
+// package main, _test.go files, and annotated lifecycle roots (e.g. the
+// convenience Dial that mirrors net.DialTimeout) are exempt; roots use
+// `//skallavet:allow ctxcall -- reason`.
+package ctxcall
+
+import (
+	"go/ast"
+	"go/types"
+
+	"skalla/tools/skallavet/analysis"
+)
+
+// Analyzer is the ctxcall rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcall",
+	Doc:  "forbid context.Background/TODO in library packages; thread the caller's context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if name := fn.Name(); name == "Background" || name == "TODO" {
+				pass.Reportf(call.Pos(),
+					"context.%s in library package %s: thread the caller's context (lifecycle roots may annotate with //skallavet:allow ctxcall -- <reason>)",
+					name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package ctxcall_test
+
+import (
+	"testing"
+
+	"skalla/tools/skallavet/analyzers/ctxcall"
+	"skalla/tools/skallavet/internal/checktest"
+)
+
+func TestLibrary(t *testing.T) {
+	checktest.Run(t, ctxcall.Analyzer, "ctxlib")
+}
+
+func TestMainExempt(t *testing.T) {
+	checktest.Run(t, ctxcall.Analyzer, "ctxmain")
+}

@@ -1,0 +1,30 @@
+// Fixture: a library package; fresh root contexts are forbidden unless
+// annotated as lifecycle roots.
+package ctxlib
+
+import "context"
+
+type site struct{}
+
+func (site) call(ctx context.Context) error { return ctx.Err() }
+
+func threaded(ctx context.Context, s site) error {
+	return s.call(ctx) // allowed: caller's context threaded through
+}
+
+func detached(s site) error {
+	return s.call(context.Background()) // want `context.Background in library package`
+}
+
+func placeholder(s site) error {
+	return s.call(context.TODO()) // want `context.TODO in library package`
+}
+
+// dial mirrors net.Dial-style convenience constructors: a documented
+// lifecycle root.
+func dial(s site) error {
+	//skallavet:allow ctxcall -- convenience constructor; DialContext is the context-threading variant
+	ctx, cancel := context.WithTimeout(context.Background(), 1)
+	defer cancel()
+	return s.call(ctx)
+}

@@ -1,0 +1,8 @@
+// Fixture: _test.go files are exempt from the ctxcall rule.
+package ctxlib
+
+import "context"
+
+func helperForTests(s site) error {
+	return s.call(context.Background()) // allowed: test file
+}

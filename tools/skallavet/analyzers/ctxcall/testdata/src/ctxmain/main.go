@@ -1,0 +1,9 @@
+// Fixture: package main is exempt — main owns the root context.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // allowed: main package
+	_ = ctx
+}

@@ -1,0 +1,62 @@
+// Package nostdlog enforces the PR-2 observability invariant: library
+// packages log exclusively through log/slog (via internal/obs), never
+// through the standard "log" package or fmt's stdout printers. Mixed std-log
+// and slog output interleaves unparseably, bypasses the level/format flags
+// both daemons expose, and — for log.Fatal — kills the process from library
+// code.
+//
+// Flagged in library packages (package main and _test.go files exempt):
+//
+//   - any reference to the standard "log" package (log/slog is fine);
+//   - fmt.Print, fmt.Printf, fmt.Println (stdout writers; Sprintf/Errorf
+//     and explicit-writer Fprintf stay allowed).
+package nostdlog
+
+import (
+	"go/ast"
+	"go/types"
+
+	"skalla/tools/skallavet/analysis"
+)
+
+// Analyzer is the nostdlog rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "nostdlog",
+	Doc:  "forbid std log and fmt stdout printing in library packages; use log/slog",
+	Run:  run,
+}
+
+var fmtPrinters = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "log":
+				pass.Reportf(sel.Pos(),
+					"standard log package in library package %s: log through log/slog (internal/obs.Logger)", pass.Pkg.Path())
+			case "fmt":
+				if fn, ok := obj.(*types.Func); ok && fmtPrinters[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"fmt.%s writes to stdout from library package %s: log through log/slog, or print to an explicit io.Writer", fn.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package nostdlog_test
+
+import (
+	"testing"
+
+	"skalla/tools/skallavet/analyzers/nostdlog"
+	"skalla/tools/skallavet/internal/checktest"
+)
+
+func TestLibrary(t *testing.T) {
+	checktest.Run(t, nostdlog.Analyzer, "loglib")
+}
+
+func TestMainExempt(t *testing.T) {
+	checktest.Run(t, nostdlog.Analyzer, "logmain")
+}

@@ -1,0 +1,30 @@
+// Fixture: library packages must log through slog; stdout printing and
+// the legacy log package are flagged.
+package loglib
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+)
+
+func legacy(err error) {
+	log.Printf("query failed: %v", err) // want `standard log package in library package`
+	log.Println("done")                 // want `standard log package in library package`
+}
+
+func stdout(n int) {
+	fmt.Println("rows:", n)      // want `fmt\.Println writes to stdout`
+	fmt.Printf("rows: %d\n", n)  // want `fmt\.Printf writes to stdout`
+	fmt.Print("rows: ", n, "\n") // want `fmt\.Print writes to stdout`
+}
+
+func allowed(n int) string {
+	slog.Info("rows scanned", "n", n) // allowed: structured logging
+	return fmt.Sprintf("rows: %d", n) // allowed: Sprintf formats, does not print
+}
+
+func annotated() {
+	//skallavet:allow nostdlog -- CLI-style table output requested by the caller
+	fmt.Println("header")
+}

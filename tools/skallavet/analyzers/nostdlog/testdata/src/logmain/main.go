@@ -1,0 +1,8 @@
+// Fixture: package main is exempt — CLIs print to stdout by design.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("skalla")
+}

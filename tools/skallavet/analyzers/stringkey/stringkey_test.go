@@ -1,0 +1,16 @@
+package stringkey_test
+
+import (
+	"testing"
+
+	"skalla/tools/skallavet/analyzers/stringkey"
+	"skalla/tools/skallavet/internal/checktest"
+)
+
+func TestHotPath(t *testing.T) {
+	checktest.Run(t, stringkey.Analyzer, "skalla/internal/engine")
+}
+
+func TestColdPathAllowed(t *testing.T) {
+	checktest.Run(t, stringkey.Analyzer, "coldpath")
+}

@@ -1,0 +1,13 @@
+// Fixture: a package outside the hot-path list; string-keyed maps are fine
+// here.
+package coldpath
+
+import "fmt"
+
+func labels(pairs [][2]string) map[string]string {
+	out := make(map[string]string)
+	for _, p := range pairs {
+		out[fmt.Sprintf("%s=%s", p[0], p[1])] = p[1]
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+// Fixture: a hot-path package (import path matches the enforcement list).
+package engine
+
+import "fmt"
+
+type rowSource struct{}
+
+// registry is a legitimate cold-path map: the directive documents why it is
+// allowed to stay string-keyed.
+//
+//skallavet:allow stringkey -- table registry, keyed per relation name, never per tuple
+type registry map[string]rowSource
+
+func groupCounts(rows [][2]string) map[string]int { // want `string-keyed map in hot-path package`
+	counts := make(map[string]int) // want `string-keyed map in hot-path package`
+	for _, r := range rows {
+		counts[r[0]+"|"+r[1]]++ // want `string-concatenated map key in hot-path package`
+	}
+	return counts
+}
+
+func sprintfKey(m map[string]int, a, b int) int { // want `string-keyed map in hot-path package`
+	return m[fmt.Sprintf("%d/%d", a, b)] // want `string-concatenated map key in hot-path package`
+}
+
+//skallavet:allow stringkey -- schema cache, keyed once per relation
+func schemaCache() map[string]rowSource {
+	//skallavet:allow stringkey -- schema cache, keyed once per relation
+	return make(map[string]rowSource)
+}
+
+func intKeyed(rows []int64) map[int64]int {
+	counts := make(map[int64]int)
+	for _, r := range rows {
+		counts[r]++
+	}
+	return counts
+}

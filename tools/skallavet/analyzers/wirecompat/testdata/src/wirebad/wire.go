@@ -1,0 +1,12 @@
+// Fixture: every way to break the append-only wire contract — a retyped
+// field, a removed field, and a struct deleted outright.
+package wirebad // want `struct Legacy not found`
+
+type Request struct { // want `wire struct Request field 0 is "Kind string" but the committed schema fingerprint says "Kind int"`
+	Kind    string // retyped: the golden says int
+	QueryID string
+}
+
+type Response struct { // want `wire struct Response has 1 fields but the committed schema fingerprint lists 2`
+	Err string
+}

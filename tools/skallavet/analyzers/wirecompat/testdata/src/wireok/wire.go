@@ -1,0 +1,17 @@
+// Fixture: wire structs matching their committed fingerprint, including one
+// field appended after the fingerprint was committed (append-only growth is
+// the whole point of the rule).
+package wireok
+
+type ReqKind int
+
+type Request struct {
+	Kind    ReqKind
+	QueryID string
+	Retry   bool // appended since the golden was committed: allowed
+}
+
+type Response struct {
+	Err  string
+	Rows []string
+}

@@ -1,0 +1,131 @@
+// Package wirecompat enforces gob wire compatibility for Skalla's
+// coordinator↔site protocol. gob identifies struct fields by name and
+// tolerates fields the peer lacks, so the Request/Response envelopes stay
+// compatible with old peers if and only if they grow append-only: renaming,
+// removing, retyping, or reordering an existing field changes what an old
+// binary decodes (or how this one decodes an old stream).
+//
+// The contract is a committed golden fingerprint, one line per field:
+//
+//	Request.Kind transport.ReqKind
+//	Request.QueryID string
+//	...
+//
+// A package opts in by carrying testdata/wire_schema.golden next to its
+// sources. The analyzer extracts each listed struct's field list from the
+// type-checked package and requires the golden to be an exact prefix of it:
+// new fields may be appended (the companion unit test in internal/transport
+// holds the golden exactly up to date via its -update flag), but any edit
+// to the committed prefix fails the build.
+package wirecompat
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"skalla/tools/skallavet/analysis"
+)
+
+// GoldenFile is the per-package schema contract file, relative to the
+// package directory.
+const GoldenFile = "testdata/wire_schema.golden"
+
+// Analyzer is the wirecompat rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecompat",
+	Doc:  "gob wire structs must grow append-only against their committed golden schema fingerprint",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := filepath.Join(pass.Dir, GoldenFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // package has no wire-schema contract
+		}
+		return err
+	}
+	if len(pass.Files) == 0 {
+		return nil
+	}
+	reportPos := pass.Files[0].Name.Pos()
+
+	golden, order, err := parseGolden(string(data))
+	if err != nil {
+		pass.Reportf(reportPos, "wire schema golden %s: %v", path, err)
+		return nil
+	}
+	for _, structName := range order {
+		want := golden[structName]
+		got, pos, err := structFields(pass, structName)
+		if err != nil {
+			pass.Reportf(reportPos, "wire schema golden %s: %v", path, err)
+			continue
+		}
+		if len(got) < len(want) {
+			pass.Reportf(pos,
+				"wire struct %s has %d fields but the committed schema fingerprint lists %d: removing fields breaks old peers (see %s)",
+				structName, len(got), len(want), GoldenFile)
+			continue
+		}
+		for i, w := range want {
+			if got[i] != w {
+				pass.Reportf(pos,
+					"wire struct %s field %d is %q but the committed schema fingerprint says %q: existing fields are append-only — never reorder, rename, retype, or remove them (see %s)",
+					structName, i, got[i], w, GoldenFile)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// parseGolden reads the fingerprint: "Struct.Field type" lines, '#'
+// comments, blank lines ignored. Returns fields per struct plus the struct
+// order of first appearance.
+func parseGolden(data string) (map[string][]string, []string, error) {
+	fields := map[string][]string{}
+	var order []string
+	for i, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, typ, ok := strings.Cut(line, " ")
+		structName, fieldName, dotOK := strings.Cut(name, ".")
+		if !ok || !dotOK || structName == "" || fieldName == "" {
+			return nil, nil, fmt.Errorf("line %d: want \"Struct.Field type\", got %q", i+1, line)
+		}
+		if _, seen := fields[structName]; !seen {
+			order = append(order, structName)
+		}
+		fields[structName] = append(fields[structName], fieldName+" "+strings.TrimSpace(typ))
+	}
+	return fields, order, nil
+}
+
+// structFields extracts "Name type" lines for the named struct from the
+// type-checked package, in declaration order, using package-name
+// qualification so the strings match reflect.Type.String output.
+func structFields(pass *analysis.Pass, name string) ([]string, token.Pos, error) {
+	obj := pass.Pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil, token.NoPos, fmt.Errorf("struct %s not found in package %s", name, pass.Pkg.Path())
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, token.NoPos, fmt.Errorf("%s is not a struct", name)
+	}
+	qual := func(p *types.Package) string { return p.Name() }
+	out := make([]string, st.NumFields())
+	for i := range out {
+		f := st.Field(i)
+		out[i] = f.Name() + " " + types.TypeString(f.Type(), qual)
+	}
+	return out, obj.Pos(), nil
+}

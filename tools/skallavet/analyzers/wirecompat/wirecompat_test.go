@@ -1,0 +1,16 @@
+package wirecompat_test
+
+import (
+	"testing"
+
+	"skalla/tools/skallavet/analyzers/wirecompat"
+	"skalla/tools/skallavet/internal/checktest"
+)
+
+func TestGoldenMatchesWithAppend(t *testing.T) {
+	checktest.Run(t, wirecompat.Analyzer, "wireok")
+}
+
+func TestBrokenContract(t *testing.T) {
+	checktest.Run(t, wirecompat.Analyzer, "wirebad")
+}

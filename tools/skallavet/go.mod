@@ -1,0 +1,3 @@
+module skalla/tools/skallavet
+
+go 1.22

@@ -1,0 +1,204 @@
+// Package checktest is a minimal analysistest equivalent: it loads a
+// fixture package from testdata/src/<path> (GOPATH-style, so fixtures can
+// fake hot-path import paths like skalla/internal/engine), type-checks it
+// with fixture-local imports resolved from the same tree and standard
+// library imports resolved from $GOROOT source, runs one analyzer, and
+// compares the findings against `// want "regexp"` comments in the
+// fixtures.
+package checktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"skalla/tools/skallavet/analysis"
+)
+
+// Run loads testdata/src/<pkgpath> relative to the calling test's working
+// directory, applies the analyzer, and checks the findings against the
+// fixture's // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		srcRoot: srcRoot,
+		pkgs:    map[string]*loaded{},
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	pkg, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkgpath, err)
+	}
+	findings, err := analysis.Run(&analysis.Package{
+		Fset:  ld.fset,
+		Files: pkg.files,
+		Types: pkg.types,
+		Info:  pkg.info,
+		Dir:   filepath.Join(srcRoot, pkgpath),
+	}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, pkgpath, err)
+	}
+	checkWants(t, ld.fset, pkg.files, findings)
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// checkWants enforces a bijection between findings and // want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", posn.Filename, posn.Line, raw, err)
+						continue
+					}
+					wants = append(wants, &want{file: posn.Filename, line: posn.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitQuoted extracts the quoted segments of a want comment; patterns may
+// be double- or backtick-quoted (backticks let patterns contain literal
+// double quotes): want "a" `b "c"` -> ["a", `b "c"`].
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexAny(s, "\"`")
+		if start < 0 {
+			return out
+		}
+		quote := s[start]
+		s = s[start+1:]
+		end := strings.IndexByte(s, quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[:end])
+		s = s[end+1:]
+	}
+}
+
+type loaded struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// loader resolves fixture-local packages from srcRoot and everything else
+// through the $GOROOT source importer, sharing one FileSet so positions
+// stay coherent.
+type loader struct {
+	fset     *token.FileSet
+	srcRoot  string
+	pkgs     map[string]*loaded
+	fallback types.Importer
+}
+
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if fi, err := os.Stat(filepath.Join(ld.srcRoot, path)); err == nil && fi.IsDir() {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.types, nil
+	}
+	return ld.fallback.Import(path)
+}
+
+func (ld *loader) load(pkgpath string) (*loaded, error) {
+	if pkg, ok := ld.pkgs[pkgpath]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.srcRoot, pkgpath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(pkgpath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", pkgpath, err)
+	}
+	pkg := &loaded{files: files, types: tpkg, info: info}
+	ld.pkgs[pkgpath] = pkg
+	return pkg, nil
+}

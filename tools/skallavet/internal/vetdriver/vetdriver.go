@@ -1,0 +1,221 @@
+// Package vetdriver implements the `go vet -vettool` protocol (the one
+// golang.org/x/tools/go/analysis/unitchecker speaks) from scratch on the
+// standard library, so skallavet needs no external dependencies:
+//
+//   - `skallavet -V=full` prints a version line cmd/go uses as a cache key;
+//   - `skallavet -flags` prints the tool's analyzer flags as JSON (none);
+//   - `skallavet <dir>/vet.cfg` type-checks one package from the JSON config
+//     cmd/go wrote (source files plus export data for every dependency),
+//     runs the analyzers, prints findings, and exits 2 if any survive;
+//   - `skallavet ./...` (no .cfg argument) re-execs `go vet -vettool=self`,
+//     so the standalone invocation and the CI invocation are the same code
+//     path.
+//
+// Dependency export data is read with go/importer's compiler-aware lookup
+// mode, which understands the build cache artifacts cmd/go lists in the
+// config's PackageFile map.
+package vetdriver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"skalla/tools/skallavet/analysis"
+)
+
+const version = "v1.0.0"
+
+// Main is the tool entry point. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	args := os.Args[1:]
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			// cmd/go parses this as "<name> version <semver>"; anything
+			// stable works as the content hash for vet result caching.
+			//skallavet:allow nostdlog -- vet -vettool protocol handshake answers on stdout
+			fmt.Printf("skallavet version %s\n", version)
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			//skallavet:allow nostdlog -- vet -vettool protocol handshake answers on stdout
+			fmt.Println("[]")
+			os.Exit(0)
+		case strings.HasSuffix(arg, ".cfg"):
+			code, err := checkConfig(arg, analyzers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skallavet: %v\n", err)
+				os.Exit(1)
+			}
+			os.Exit(code)
+		}
+	}
+	// Standalone mode: let the go command do package loading and hand each
+	// package back to this binary as a vet.cfg.
+	os.Exit(standalone(args))
+}
+
+func standalone(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skallavet: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "skallavet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// config mirrors cmd/go/internal/work.vetConfig — the JSON contract between
+// the go command and a vet tool.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func checkConfig(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("%s: %w", cfgPath, err)
+	}
+	// skallavet produces no cross-package facts, so dependency passes
+	// (VetxOnly) have nothing to compute: record the empty facts file and
+	// return, which keeps `go vet ./...` fast on the dependency closure.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tconf := types.Config{
+		Importer:  newImporter(fset, &cfg),
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+
+	findings, err := analysis.Run(&analysis.Package{
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Dir:   cfg.Dir,
+	}, analyzers)
+	writeVetx()
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// newImporter resolves dependency imports through the export-data files the
+// go command listed in the config: source-level import paths are first
+// canonicalized through ImportMap (vendoring, test variants), then read via
+// the compiler importer's lookup hook.
+func newImporter(fset *token.FileSet, cfg *config) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	return &mapImporter{
+		base:      importer.ForCompiler(fset, compiler, lookup),
+		importMap: cfg.ImportMap,
+	}
+}
+
+type mapImporter struct {
+	base      types.Importer
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := m.importMap[path]; ok && mapped != "" {
+		path = mapped
+	}
+	return m.base.Import(path)
+}

@@ -1,0 +1,25 @@
+// Command skallavet is Skalla's invariant checker: a multi-analyzer static
+// analysis suite run as `go vet -vettool=$(command -v skallavet) ./...` (or
+// simply `skallavet ./...`, which re-execs go vet). Each analyzer is an
+// executable design rule — see DESIGN.md §10 for the rule → origin-PR →
+// rationale table.
+package main
+
+import (
+	"skalla/tools/skallavet/analyzers/blockpool"
+	"skalla/tools/skallavet/analyzers/ctxcall"
+	"skalla/tools/skallavet/analyzers/nostdlog"
+	"skalla/tools/skallavet/analyzers/stringkey"
+	"skalla/tools/skallavet/analyzers/wirecompat"
+	"skalla/tools/skallavet/internal/vetdriver"
+)
+
+func main() {
+	vetdriver.Main(
+		stringkey.Analyzer,
+		blockpool.Analyzer,
+		wirecompat.Analyzer,
+		ctxcall.Analyzer,
+		nostdlog.Analyzer,
+	)
+}
