@@ -45,10 +45,12 @@ func run(args []string, out io.Writer) error {
 		constG    = fs.Bool("constant-groups", false, "Fig. 5: hold the group count constant while data grows")
 		netFlag   = fs.String("net", "lan", "network model: lan or none")
 		jsonPath  = fs.String("json", "", "also write the measured series as JSON to this file")
+		workers   = fs.Int("workers", 1, "evaluation workers per site and concurrent merge commits (0 = auto, 1 = sequential paper-shaped runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	bench.EvalWorkers = *workers
 	cfg := tpc.Config{
 		Rows: *rows, Customers: *customers, Nations: 25,
 		CitiesPerNation: *cities, Clerks: *clerks, Seed: *seed,

@@ -50,6 +50,7 @@ func run(args []string, out io.Writer) error {
 		blockRows   = fs.Int("block-rows", 0, "row blocking: sites return H in blocks of this many rows (0 = off)")
 		siteRetries = fs.Int("site-retries", 3, "attempts per site call before the query fails (1 = no retry)")
 		siteTimeout = fs.Duration("site-timeout", 30*time.Second, "per-attempt deadline for one site call (0 = none)")
+		workers     = fs.Int("workers", 0, "concurrent per-site merge commits during synchronization: 0 = auto, 1 = serial")
 		optsFlag    = fs.String("opts", "all", "optimizations: all, none, or a comma list of coalesce,group-site,group-coord,sync")
 		explain     = fs.Bool("explain", false, "print the plan without executing")
 		replFlag    = fs.Bool("repl", false, "interactive mode: read statements from stdin")
@@ -123,6 +124,7 @@ func run(args []string, out io.Writer) error {
 	clusterOpts := []skalla.ClusterOption{
 		skalla.WithRowBlocking(*blockRows),
 		skalla.WithSiteRetry(retry),
+		skalla.WithWorkers(*workers),
 	}
 	if *trace {
 		clusterOpts = append(clusterOpts, skalla.WithTrace(out))

@@ -24,6 +24,14 @@ import (
 	"skalla/internal/transport"
 )
 
+// EvalWorkers is the evaluation parallelism applied to every cluster the
+// harness builds: per-site scan workers plus the coordinator's concurrent
+// stage commits. 0 (the default) sizes automatically, 1 forces the fully
+// sequential paper-shaped evaluation. A package-level dial keeps the figure
+// runners' signatures matching the paper's experiments; cmd/skalla-bench
+// sets it from -workers and every measured Row records the value in force.
+var EvalWorkers int
+
 // Cluster is a ready-to-query distributed warehouse instance.
 type Cluster struct {
 	Coord   *core.Coordinator
@@ -41,6 +49,7 @@ func NewTPCCluster(ctx context.Context, d *tpc.Dataset, n int, net stats.NetMode
 	sites := make([]transport.Site, n)
 	for i := 0; i < n; i++ {
 		es := engine.NewSite(i)
+		es.SetWorkers(EvalWorkers)
 		if err := es.Load(ctx, tpc.RelationName, d.Parts[i]); err != nil {
 			return nil, err
 		}
@@ -54,6 +63,7 @@ func NewTPCCluster(ctx context.Context, d *tpc.Dataset, n int, net stats.NetMode
 	if err != nil {
 		return nil, err
 	}
+	coord.SetMergeWorkers(EvalWorkers)
 	return &Cluster{Coord: coord, Sites: sites, Catalog: cat}, nil
 }
 
@@ -105,17 +115,21 @@ const LowCardAttr = "Clerk"
 
 // Row is one measured point of an experiment series.
 type Row struct {
-	Series      string
-	X           int // participating sites (speed-up) or scale factor (scale-up)
-	Time        time.Duration
-	Bytes       int
-	BytesDown   int
-	BytesUp     int
-	Rows        int
-	RowsDown    int
-	RowsUp      int
-	Groups      int
-	Rounds      int
+	Series    string
+	X         int // participating sites (speed-up) or scale factor (scale-up)
+	Time      time.Duration
+	Bytes     int
+	BytesDown int
+	BytesUp   int
+	Rows      int
+	RowsDown  int
+	RowsUp    int
+	Groups    int
+	Rounds    int
+	// Workers is the evaluation parallelism in force when the point was
+	// measured (EvalWorkers: 0 = auto, 1 = sequential), so series taken at
+	// different parallelism are distinguishable in the JSON export.
+	Workers     int
 	SiteTime    time.Duration
 	CoordTime   time.Duration
 	CommTime    time.Duration
@@ -177,6 +191,7 @@ func measure(ctx context.Context, c *Cluster, q gmdj.Query, opts plan.Options, s
 		RowsUp:      rowsUp,
 		Groups:      groups,
 		Rounds:      m.NumRounds(),
+		Workers:     EvalWorkers,
 		SiteTime:    m.SiteTime(),
 		CoordTime:   m.CoordTime(),
 		CommTime:    m.CommTime(),

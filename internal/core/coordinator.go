@@ -9,6 +9,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -25,12 +26,13 @@ import (
 // Coordinator executes complex GMDJ expressions against a set of Skalla
 // sites.
 type Coordinator struct {
-	sites     []transport.Site
-	cat       *distrib.Catalog
-	net       stats.NetModel
-	blockRows int
-	tracer    Tracer
-	retry     RetryPolicy
+	sites        []transport.Site
+	cat          *distrib.Catalog
+	net          stats.NetModel
+	blockRows    int
+	tracer       Tracer
+	retry        RetryPolicy
+	mergeWorkers int
 }
 
 // New creates a coordinator. cat may be nil (no distribution knowledge); net
@@ -46,6 +48,26 @@ func New(sites []transport.Site, cat *distrib.Catalog, net stats.NetModel) (*Coo
 // (Sect. 3.2 row blocking); the coordinator synchronizes blocks as they
 // arrive in either mode. Zero (the default) ships each H_i whole.
 func (c *Coordinator) SetRowBlocking(rows int) { c.blockRows = rows }
+
+// SetMergeWorkers sets how many per-site stage commits the streaming
+// synchronization may run concurrently: 0 (the default) picks
+// min(GOMAXPROCS, sites), 1 restores the serial merge loop, n > 1 allows up
+// to n concurrent commits (X rows are guarded by the merger's lock stripes).
+func (c *Coordinator) SetMergeWorkers(n int) { c.mergeWorkers = n }
+
+func (c *Coordinator) resolveMergeWorkers() int {
+	w := c.mergeWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(c.sites) {
+		w = len(c.sites)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // NumSites returns the number of attached sites.
 func (c *Coordinator) NumSites() int { return len(c.sites) }
@@ -393,16 +415,53 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 	}()
 
 	var mergeErr error
-	for st := range stages {
-		if mergeErr != nil || ctx.Err() != nil {
-			st.Discard()
-			continue // drain so senders never block; cancelled streams end fast
+	if workers := c.resolveMergeWorkers(); workers <= 1 {
+		for st := range stages {
+			if mergeErr != nil || ctx.Err() != nil {
+				st.Discard()
+				continue // drain so senders never block; cancelled streams end fast
+			}
+			t0 := time.Now()
+			mergeErr = mg.CommitStage(st, k)
+			d := time.Since(t0)
+			coordTime += d
+			rs.ObserveMerge(d)
 		}
-		t0 := time.Now()
-		mergeErr = mg.CommitStage(st, k)
-		d := time.Since(t0)
-		coordTime += d
-		rs.ObserveMerge(d)
+	} else {
+		// Concurrent commits: sync-merge overlaps across sites instead of
+		// serializing behind one merge loop; the merger's lock stripes keep
+		// same-group merges safe (see CommitStageSharded).
+		var mu sync.Mutex // guards mergeErr and coordTime
+		var mwg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for st := range stages {
+			mu.Lock()
+			failed := mergeErr != nil
+			mu.Unlock()
+			if failed || ctx.Err() != nil {
+				st.Discard()
+				continue
+			}
+			sem <- struct{}{}
+			mwg.Add(1)
+			go func(st *hStage) {
+				defer mwg.Done()
+				defer func() { <-sem }()
+				obs.CoordMergeWorkers.Add(1)
+				defer obs.CoordMergeWorkers.Add(-1)
+				t0 := time.Now()
+				err := mg.CommitStageSharded(st, k)
+				d := time.Since(t0)
+				rs.ObserveMerge(d)
+				mu.Lock()
+				coordTime += d
+				if mergeErr == nil {
+					mergeErr = err
+				}
+				mu.Unlock()
+			}(st)
+		}
+		mwg.Wait()
 	}
 
 	t0 = time.Now()

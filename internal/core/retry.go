@@ -3,7 +3,7 @@ package core
 import (
 	"context"
 	"errors"
-	"math/rand"
+	"math/rand/v2"
 	"time"
 
 	"skalla/internal/obs"
@@ -66,8 +66,10 @@ func (p RetryPolicy) backoff(attempt int) time.Duration {
 	if p.MaxBackoff > 0 && d > p.MaxBackoff {
 		d = p.MaxBackoff
 	}
-	// Equal jitter: half deterministic, half uniform random.
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	// Equal jitter: half deterministic, half uniform random. math/rand/v2
+	// draws from per-P sources, so concurrent per-site retry goroutines
+	// don't serialize on the legacy math/rand global mutex here.
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
 }
 
 // permanentError marks a site-call failure that retrying cannot fix — e.g. a

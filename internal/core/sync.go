@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"skalla/internal/agg"
 	"skalla/internal/gmdj"
@@ -55,7 +56,16 @@ type merger struct {
 	keyIdx   []int // key column positions within x
 	index    *relation.KeyIndex
 	extended int // number of operators whose columns exist in x
+
+	// stripes shard X's rows for concurrent stage commits: row i is guarded
+	// by stripes[i % mergeStripes], so two sites' stages merging into the
+	// same group serialize on one stripe instead of one global lock.
+	stripes [mergeStripes]sync.Mutex
 }
+
+// mergeStripes is the lock-stripe count for concurrent stage commits (power
+// of two; key-index row positions hash uniformly across stripes).
+const mergeStripes = 64
 
 func newMerger(keys []string, xschemas []relation.Schema, segs [][]varSegment) *merger {
 	return &merger{keys: keys, xschemas: xschemas, segs: segs}
@@ -271,6 +281,52 @@ func (m *merger) CommitStage(st *hStage, k int) error {
 		return nil // empty stream: the site had no matching groups
 	}
 	return m.MergeH(st.rel, k)
+}
+
+// CommitStageSharded is CommitStage for concurrent use: independent sites'
+// completed stages may commit in parallel during one operator round. Every
+// X row merge is guarded by its lock stripe, so two stages folding into the
+// same group serialize per row rather than per round. Key lookups need no
+// lock: operator rounds never add X rows (every H key is derived from X), so
+// the key index is read-only while stages are landing. Merge order across
+// stages is whatever the commits race to — exactly the completion-order
+// nondeterminism the serial streaming merge already has — and physical
+// super-aggregate merges are order-insensitive (exact for integer inputs).
+func (m *merger) CommitStageSharded(st *hStage, k int) error {
+	defer st.Discard()
+	if st.rel == nil {
+		return nil
+	}
+	if k != m.extended-1 {
+		return fmt.Errorf("core: merging operator %d into X extended to %d", k+1, m.extended)
+	}
+	if err := validateH(st.rel, m.keys, m.segs[k]); err != nil {
+		return err
+	}
+	hKeyIdx := make([]int, len(m.keys))
+	for i := range m.keys {
+		hKeyIdx[i] = i
+	}
+	for _, hrow := range st.rel.Tuples {
+		xi, err := m.index.Unique(hrow, hKeyIdx)
+		if err != nil {
+			return fmt.Errorf("core: sync: H row key not in X: %w", err)
+		}
+		xrow := m.x.Tuples[xi]
+		lk := &m.stripes[xi%mergeStripes]
+		lk.Lock()
+		cursor := len(m.keys)
+		for _, seg := range m.segs[k] {
+			n := len(seg.layout.Phys)
+			if err := seg.layout.MergePhys(xrow[seg.physStart:seg.physStart+n], hrow[cursor:cursor+n]); err != nil {
+				lk.Unlock()
+				return err
+			}
+			cursor += n
+		}
+		lk.Unlock()
+	}
+	return nil
 }
 
 // MergeLocal synchronizes one site's locally evaluated X fragment (schema =

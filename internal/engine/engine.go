@@ -31,6 +31,7 @@ type Site struct {
 	//skallavet:allow stringkey -- table catalog keyed by relation name: one lookup per evaluation, not per tuple
 	tables  map[string]gmdj.RowSource
 	useHash bool
+	workers int
 }
 
 // NewSite creates an empty site.
@@ -48,6 +49,16 @@ func (s *Site) SetUseHash(v bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.useHash = v
+}
+
+// SetWorkers sets the evaluation worker count: 0 (the default) picks
+// automatically from GOMAXPROCS and partition size, 1 forces sequential
+// evaluation, n > 1 requests exactly n scan shards (capped by what the
+// sources can split into).
+func (s *Site) SetWorkers(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workers = n
 }
 
 // Load installs (or replaces) the local partition of a detail relation as an
@@ -97,16 +108,61 @@ type TableInfo struct {
 	Columns int
 }
 
-// Tables returns the site's relation inventory, sorted by name.
+// Tables returns the site's relation inventory, sorted by name. Row counts
+// are computed from a catalog snapshot outside the site lock: Len on a
+// disk-backed source touches its own state, and doing that while holding the
+// site mutex would block every concurrent query behind inventory I/O.
 func (s *Site) Tables(_ context.Context) []TableInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]TableInfo, 0, len(s.tables))
-	for n, src := range s.tables {
+	snap := s.snapshot()
+	out := make([]TableInfo, 0, len(snap.tables))
+	for n, src := range snap.tables {
 		out = append(out, TableInfo{Name: n, Rows: src.Len(), Columns: len(src.Schema())})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// snapshot is an immutable view of the site taken under one RLock: the
+// catalog (map copied, sources shared) plus the evaluation knobs. Evaluations
+// resolve every detail relation against the snapshot, so a concurrent
+// LoadSource can neither swap a RowSource out from under an in-flight scan
+// nor let two resolutions of the same name observe different sources
+// mid-query.
+type snapshot struct {
+	siteID int
+	//skallavet:allow stringkey -- catalog snapshot keyed by relation name: one lookup per evaluation, not per tuple
+	tables  map[string]gmdj.RowSource
+	useHash bool
+	workers int
+}
+
+func (s *Site) snapshot() snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	//skallavet:allow stringkey -- catalog snapshot keyed by relation name: one lookup per evaluation, not per tuple
+	tables := make(map[string]gmdj.RowSource, len(s.tables))
+	for n, src := range s.tables {
+		tables[n] = src
+	}
+	return snapshot{siteID: s.id, tables: tables, useHash: s.useHash, workers: s.workers}
+}
+
+// DetailSource implements gmdj.DataSource over the snapshot.
+func (sn snapshot) DetailSource(name string) (gmdj.RowSource, error) {
+	src, ok := sn.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: site %d has no relation %q", sn.siteID, name)
+	}
+	return src, nil
+}
+
+// DetailSchema implements gmdj.SchemaSource over the snapshot.
+func (sn snapshot) DetailSchema(name string) (relation.Schema, error) {
+	src, err := sn.DetailSource(name)
+	if err != nil {
+		return nil, err
+	}
+	return src.Schema(), nil
 }
 
 // DetailSource returns the local partition of a detail relation.
@@ -157,11 +213,12 @@ func (s *Site) EvalBase(ctx context.Context, bq gmdj.BaseQuery) (*relation.Relat
 		return nil, err
 	}
 	obs.EngineEvals.With("base").Inc()
-	detail, err := s.DetailSource(bq.Detail)
+	snap := s.snapshot()
+	detail, err := snap.DetailSource(bq.Detail)
 	if err != nil {
 		return nil, err
 	}
-	return gmdj.EvalBase(bq, detail)
+	return gmdj.EvalBaseWorkers(bq, detail, snap.workers)
 }
 
 // OperatorRequest asks a site to evaluate one MD operator over its local
@@ -217,15 +274,13 @@ func (s *Site) EvalOperatorBlocks(ctx context.Context, req OperatorRequest, emit
 	if req.Base == nil {
 		return fmt.Errorf("engine: operator request without base relation")
 	}
-	detail, err := s.DetailSource(req.Op.Detail)
+	snap := s.snapshot()
+	detail, err := snap.DetailSource(req.Op.Detail)
 	if err != nil {
 		return err
 	}
-	s.mu.RLock()
-	useHash := s.useHash
-	s.mu.RUnlock()
 
-	acc, err := gmdj.AccumulateOperator(req.Base, req.Op, detail, useHash)
+	acc, err := gmdj.AccumulateOperatorWorkers(req.Base, req.Op, detail, snap.useHash, snap.workers)
 	if err != nil {
 		return err
 	}
@@ -302,12 +357,12 @@ func (s *Site) EvalLocal(ctx context.Context, req LocalRequest) (*relation.Relat
 		return nil, err
 	}
 	obs.EngineEvals.With("local").Inc()
-	s.mu.RLock()
-	useHash := s.useHash
-	s.mu.RUnlock()
-	src := s.Source()
-	if err := req.Query.Validate(src); err != nil {
+	// One snapshot covers validation and every evaluation stage: a concurrent
+	// LoadSource cannot make the base query and a later operator see
+	// different generations of the same detail relation.
+	snap := s.snapshot()
+	if err := req.Query.Validate(snap); err != nil {
 		return nil, err
 	}
-	return gmdj.EvalPrefixX(req.Query, src, req.UpTo, useHash)
+	return gmdj.EvalPrefixXWorkers(req.Query, snap, req.UpTo, snap.useHash, snap.workers)
 }

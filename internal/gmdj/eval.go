@@ -2,6 +2,7 @@ package gmdj
 
 import (
 	"fmt"
+	"strconv"
 
 	"skalla/internal/agg"
 	"skalla/internal/expr"
@@ -35,6 +36,29 @@ func scanCounted(src RowSource, fn func(relation.Tuple) error) error {
 	return err
 }
 
+// scanCountedWorker is scanCounted for one shard of a parallel evaluation: the
+// visited rows are additionally charged to the per-worker counter, so skewed
+// shard assignments show up in /metrics.
+func scanCountedWorker(src RowSource, worker int, fn func(relation.Tuple) error) error {
+	rows := 0
+	err := src.Scan(func(t relation.Tuple) error {
+		rows++
+		return fn(t)
+	})
+	obs.EngineRowsScanned.Add(int64(rows))
+	obs.EngineWorkerRows.With(strconv.Itoa(worker)).Add(int64(rows))
+	return err
+}
+
+// scanShardCounted dispatches between the sequential (worker < 0) and
+// per-worker-labeled counted scans.
+func scanShardCounted(src RowSource, worker int, fn func(relation.Tuple) error) error {
+	if worker < 0 {
+		return scanCounted(src, fn)
+	}
+	return scanCountedWorker(src, worker, fn)
+}
+
 // SourceOf adapts a materialized relation to a RowSource.
 func SourceOf(r *relation.Relation) RowSource { return relSource{r} }
 
@@ -49,6 +73,24 @@ func (s relSource) Scan(fn func(relation.Tuple) error) error {
 		}
 	}
 	return nil
+}
+
+// Split implements SplittableSource: contiguous row ranges of near-equal
+// size, so the concatenation of the shard scans is exactly the full scan.
+func (s relSource) Split(n int) []RowSource {
+	rows := s.r.Len()
+	if n > rows {
+		n = rows
+	}
+	if n <= 1 {
+		return nil
+	}
+	out := make([]RowSource, n)
+	for w := 0; w < n; w++ {
+		lo, hi := rows*w/n, rows*(w+1)/n
+		out[w] = relSource{&relation.Relation{Schema: s.r.Schema, Tuples: s.r.Tuples[lo:hi]}}
+	}
+	return out
 }
 
 // DataSource resolves detail relation names to scannable sources.
@@ -113,25 +155,31 @@ func EvalCentralX(q Query, src DataSource, useHash bool) (*relation.Relation, er
 	if err := q.Validate(src); err != nil {
 		return nil, err
 	}
-	return evalPrefixX(q, src, len(q.Ops), useHash)
+	return evalPrefixX(q, src, len(q.Ops), useHash, 1)
 }
 
 // EvalPrefixX evaluates the base query and the first upTo operators,
 // returning the intermediate base-result structure X_upTo. The query must
 // already be validated.
 func EvalPrefixX(q Query, src DataSource, upTo int, useHash bool) (*relation.Relation, error) {
+	return EvalPrefixXWorkers(q, src, upTo, useHash, 1)
+}
+
+// EvalPrefixXWorkers is EvalPrefixX with worker-parallel scans (see
+// EvalBaseWorkers / AccumulateOperatorWorkers for the workers contract).
+func EvalPrefixXWorkers(q Query, src DataSource, upTo int, useHash bool, workers int) (*relation.Relation, error) {
 	if upTo < 0 || upTo > len(q.Ops) {
 		return nil, fmt.Errorf("gmdj: prefix %d out of range (query has %d operators)", upTo, len(q.Ops))
 	}
-	return evalPrefixX(q, src, upTo, useHash)
+	return evalPrefixX(q, src, upTo, useHash, workers)
 }
 
-func evalPrefixX(q Query, src DataSource, upTo int, useHash bool) (*relation.Relation, error) {
+func evalPrefixX(q Query, src DataSource, upTo int, useHash bool, workers int) (*relation.Relation, error) {
 	baseRel, err := src.DetailSource(q.Base.Detail)
 	if err != nil {
 		return nil, err
 	}
-	x, err := EvalBase(q.Base, baseRel)
+	x, err := EvalBaseWorkers(q.Base, baseRel, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +189,7 @@ func evalPrefixX(q Query, src DataSource, upTo int, useHash bool) (*relation.Rel
 		if err != nil {
 			return nil, err
 		}
-		x, err = ApplyOperator(x, op, detail, useHash)
+		x, err = ApplyOperatorWorkers(x, op, detail, useHash, workers)
 		if err != nil {
 			return nil, fmt.Errorf("gmdj: MD%d: %w", i+1, err)
 		}
@@ -155,11 +203,48 @@ func evalPrefixX(q Query, src DataSource, upTo int, useHash bool) (*relation.Rel
 // distinct projections; see BaseQuery). The detail rows are streamed once;
 // memory is bounded by the number of distinct base values.
 func EvalBase(bq BaseQuery, detail RowSource) (*relation.Relation, error) {
+	return EvalBaseWorkers(bq, detail, 1)
+}
+
+// EvalBaseWorkers is EvalBase with the detail scan sharded across workers
+// (0 = auto, 1 = sequential; parallelism needs a SplittableSource). The
+// result is identical to the sequential evaluation including row order:
+// shards are contiguous, each worker records its shard's first occurrences in
+// order, and the merge dedupes in shard order — so global first-occurrence
+// order is preserved exactly.
+func EvalBaseWorkers(bq BaseQuery, detail RowSource, workers int) (*relation.Relation, error) {
+	p, err := compileBase(bq, detail)
+	if err != nil {
+		return nil, err
+	}
+	if shards := splitSource(detail, resolveWorkers(workers, detail.Len())); shards != nil {
+		return evalBaseParallel(p, shards)
+	}
+	out := relation.New(p.schema)
+	seen := relation.NewKeySet(64)
+	if err := p.scanShard(detail, -1, seen, &out.Tuples); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// baseProg is a compiled base query: the bound filter, projection indexes and
+// grouping-set masks. All fields are read-only after compileBase, so shards
+// can share one program.
+type baseProg struct {
+	where   expr.Expr
+	idx     []int
+	allCols []int
+	masks   [][]bool
+	schema  relation.Schema
+}
+
+func compileBase(bq BaseQuery, detail RowSource) (*baseProg, error) {
 	schema := detail.Schema()
-	var where expr.Expr
+	p := &baseProg{}
 	if bq.Where != nil {
 		var err error
-		where, err = expr.Bind(bq.Where, nil, schema)
+		p.where, err = expr.Bind(bq.Where, nil, schema)
 		if err != nil {
 			return nil, err
 		}
@@ -168,10 +253,11 @@ func EvalBase(bq BaseQuery, detail RowSource) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := relation.New(schema.Project(idx))
-	allCols := make([]int, len(bq.Cols))
-	for i := range allCols {
-		allCols[i] = i
+	p.idx = idx
+	p.schema = schema.Project(idx)
+	p.allCols = make([]int, len(bq.Cols))
+	for i := range p.allCols {
+		p.allCols[i] = i
 	}
 
 	// Precompute the grouping-set masks; the plain distinct projection is
@@ -180,7 +266,7 @@ func EvalBase(bq BaseQuery, detail RowSource) (*relation.Relation, error) {
 	if len(sets) == 0 {
 		sets = [][]string{bq.Cols}
 	}
-	masks := make([][]bool, len(sets))
+	p.masks = make([][]bool, len(sets))
 	for si, set := range sets {
 		mask := make([]bool, len(bq.Cols))
 		for _, col := range set {
@@ -190,14 +276,19 @@ func EvalBase(bq BaseQuery, detail RowSource) (*relation.Relation, error) {
 				}
 			}
 		}
-		masks[si] = mask
+		p.masks[si] = mask
 	}
+	return p, nil
+}
 
-	seen := relation.NewKeySet(64)
-	scratch := make(relation.Tuple, len(idx))
-	err = scanCounted(detail, func(t relation.Tuple) error {
-		if where != nil {
-			ok, err := expr.EvalCond(where, nil, t)
+// scanShard streams one shard of the detail source, interning each surviving
+// projection into seen and appending fresh ones to out in first-occurrence
+// order. worker < 0 is the sequential (unlabeled) scan.
+func (p *baseProg) scanShard(src RowSource, worker int, seen *relation.KeySet, out *[]relation.Tuple) error {
+	scratch := make(relation.Tuple, len(p.idx))
+	return scanShardCounted(src, worker, func(t relation.Tuple) error {
+		if p.where != nil {
+			ok, err := expr.EvalCond(p.where, nil, t)
 			if err != nil {
 				return err
 			}
@@ -205,8 +296,8 @@ func EvalBase(bq BaseQuery, detail RowSource) (*relation.Relation, error) {
 				return nil
 			}
 		}
-		for _, mask := range masks {
-			for i, j := range idx {
+		for _, mask := range p.masks {
+			for i, j := range p.idx {
 				if mask[i] {
 					scratch[i] = t[j]
 				} else {
@@ -215,17 +306,13 @@ func EvalBase(bq BaseQuery, detail RowSource) (*relation.Relation, error) {
 			}
 			// Add interns the projection only for fresh keys; duplicates cost
 			// one hash probe and no allocation.
-			interned, fresh := seen.Add(scratch, allCols)
+			interned, fresh := seen.Add(scratch, p.allCols)
 			if fresh {
-				out.Tuples = append(out.Tuples, interned)
+				*out = append(*out, interned)
 			}
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // OperatorAccum holds the per-base-row physical accumulators of one MD
@@ -247,23 +334,71 @@ type OperatorAccum struct {
 // everything else falls back to the literal nested loop (detail-outer, so
 // disk-backed sources are still scanned sequentially).
 func AccumulateOperator(x *relation.Relation, op Operator, detail RowSource, useHash bool) (*OperatorAccum, error) {
+	return AccumulateOperatorWorkers(x, op, detail, useHash, 1)
+}
+
+// AccumulateOperatorWorkers is AccumulateOperator with the detail scans
+// sharded across workers (0 = auto, 1 = sequential; parallelism needs a
+// SplittableSource). Each worker accumulates private per-base-row partials
+// over its shard; the partials are merged with the same super-aggregate
+// decomposition that merges per-site sub-aggregates — Theorem 1 applies
+// unchanged, a worker shard is just a finer horizontal partition — in worker
+// order, so results match the sequential evaluation (byte-identically for
+// integer-valued aggregates; see DESIGN.md §11 for the float caveat).
+func AccumulateOperatorWorkers(x *relation.Relation, op Operator, detail RowSource, useHash bool, workers int) (*OperatorAccum, error) {
+	states, err := buildVarStates(x, op, detail.Schema(), useHash)
+	if err != nil {
+		return nil, err
+	}
 	out := &OperatorAccum{
 		Layouts: make([]*agg.Layout, len(op.Vars)),
 		Accs:    make([][]relation.Tuple, len(op.Vars)),
 		Touched: make([]bool, x.Len()),
 	}
-	type varState struct {
-		layout  *agg.Layout
-		cond    expr.Expr
-		hashIdx *relation.KeyIndex
-		probe   []int
-		// rollup marks the grouping-set fast path: probe holds the detail
-		// column positions of the dimensions, and every detail row is probed
-		// with all 2^n NULL paddings (each base row matches at most one —
-		// the one mirroring its own NULL pattern).
-		rollup bool
+	for vi, st := range states {
+		out.Layouts[vi] = st.layout
+		accs := make([]relation.Tuple, x.Len())
+		for i := range accs {
+			accs[i] = st.layout.Identity()
+		}
+		out.Accs[vi] = accs
 	}
-	detailSchema := detail.Schema()
+	if shards := splitSource(detail, resolveWorkers(workers, detail.Len())); shards != nil {
+		if err := accumulateParallel(x, states, out, shards); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	hits := make([]uint32, x.Len())
+	for vi, st := range states {
+		if err := st.scan(x, detail, out.Accs[vi], hits, -1); err != nil {
+			return nil, err
+		}
+	}
+	for i, h := range hits {
+		out.Touched[i] = h > 0
+	}
+	return out, nil
+}
+
+// varState is one grouping variable compiled against the base and detail
+// schemas: the aggregate layout, the bound condition, and (when usable) the
+// hash-grouping index over the base relation. All fields are read-only after
+// buildVarStates — expression evaluation is a stateless tree walk and
+// KeyIndex.Lookup never mutates — so concurrent shard scans share one state.
+type varState struct {
+	layout  *agg.Layout
+	cond    expr.Expr
+	hashIdx *relation.KeyIndex
+	probe   []int
+	// rollup marks the grouping-set fast path: probe holds the detail
+	// column positions of the dimensions, and every detail row is probed
+	// with all 2^n NULL paddings (each base row matches at most one —
+	// the one mirroring its own NULL pattern).
+	rollup bool
+}
+
+func buildVarStates(x *relation.Relation, op Operator, detailSchema relation.Schema, useHash bool) ([]*varState, error) {
 	states := make([]*varState, len(op.Vars))
 	for vi, v := range op.Vars {
 		layout, err := agg.NewLayout(v.Aggs, detailSchema)
@@ -275,12 +410,6 @@ func AccumulateOperator(x *relation.Relation, op Operator, detail RowSource, use
 			return nil, err
 		}
 		st := &varState{layout: layout, cond: cond}
-		out.Layouts[vi] = layout
-		accs := make([]relation.Tuple, x.Len())
-		for i := range accs {
-			accs[i] = layout.Identity()
-		}
-		out.Accs[vi] = accs
 		if useHash {
 			links := expr.EqualityLinks(cond)
 			rollup := false
@@ -314,60 +443,43 @@ func AccumulateOperator(x *relation.Relation, op Operator, detail RowSource, use
 		}
 		states[vi] = st
 	}
+	return states, nil
+}
 
-	for vi, st := range states {
-		accs := out.Accs[vi]
-		if st.hashIdx != nil && st.rollup {
-			n := len(st.probe)
-			padded := make(relation.Tuple, n)
-			paddedCols := make([]int, n)
-			for i := range paddedCols {
-				paddedCols[i] = i
-			}
-			err := scanCounted(detail, func(dr relation.Tuple) error {
-				// A NULL detail value pads identically whether its bit is
-				// set or not; restrict masks to non-NULL dimensions so no
-				// probe (and hence no base row) repeats for this detail row.
-				nullBits := 0
-				for i, di := range st.probe {
-					if dr[di].IsNull() {
-						nullBits |= 1 << i
-					}
-				}
-				for mask := 0; mask < 1<<n; mask++ {
-					if mask&nullBits != 0 {
-						continue
-					}
-					for i, di := range st.probe {
-						if mask&(1<<i) != 0 {
-							padded[i] = dr[di]
-						} else {
-							padded[i] = relation.Null
-						}
-					}
-					for _, bi := range st.hashIdx.Lookup(padded, paddedCols) {
-						ok, err := expr.EvalCond(st.cond, x.Tuples[bi], dr)
-						if err != nil {
-							return err
-						}
-						if ok {
-							if err := st.layout.Accumulate(accs[bi], dr); err != nil {
-								return err
-							}
-							out.Touched[bi] = true
-						}
-					}
-				}
-				return nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			continue
+// scan accumulates this grouping variable over one detail shard: accs[i]
+// receives base row i's physical partials, hits[i] counts its accumulations
+// (feeding both the Prop. 1 Touched flags and the skew-aware merge planner).
+// worker < 0 is the sequential (unlabeled) scan.
+func (st *varState) scan(x *relation.Relation, detail RowSource, accs []relation.Tuple, hits []uint32, worker int) error {
+	if st.hashIdx != nil && st.rollup {
+		n := len(st.probe)
+		padded := make(relation.Tuple, n)
+		paddedCols := make([]int, n)
+		for i := range paddedCols {
+			paddedCols[i] = i
 		}
-		if st.hashIdx != nil {
-			err := scanCounted(detail, func(dr relation.Tuple) error {
-				for _, bi := range st.hashIdx.Lookup(dr, st.probe) {
+		return scanShardCounted(detail, worker, func(dr relation.Tuple) error {
+			// A NULL detail value pads identically whether its bit is
+			// set or not; restrict masks to non-NULL dimensions so no
+			// probe (and hence no base row) repeats for this detail row.
+			nullBits := 0
+			for i, di := range st.probe {
+				if dr[di].IsNull() {
+					nullBits |= 1 << i
+				}
+			}
+			for mask := 0; mask < 1<<n; mask++ {
+				if mask&nullBits != 0 {
+					continue
+				}
+				for i, di := range st.probe {
+					if mask&(1<<i) != 0 {
+						padded[i] = dr[di]
+					} else {
+						padded[i] = relation.Null
+					}
+				}
+				for _, bi := range st.hashIdx.Lookup(padded, paddedCols) {
 					ok, err := expr.EvalCond(st.cond, x.Tuples[bi], dr)
 					if err != nil {
 						return err
@@ -376,19 +488,17 @@ func AccumulateOperator(x *relation.Relation, op Operator, detail RowSource, use
 						if err := st.layout.Accumulate(accs[bi], dr); err != nil {
 							return err
 						}
-						out.Touched[bi] = true
+						hits[bi]++
 					}
 				}
-				return nil
-			})
-			if err != nil {
-				return nil, err
 			}
-			continue
-		}
-		err := scanCounted(detail, func(dr relation.Tuple) error {
-			for bi, br := range x.Tuples {
-				ok, err := expr.EvalCond(st.cond, br, dr)
+			return nil
+		})
+	}
+	if st.hashIdx != nil {
+		return scanShardCounted(detail, worker, func(dr relation.Tuple) error {
+			for _, bi := range st.hashIdx.Lookup(dr, st.probe) {
+				ok, err := expr.EvalCond(st.cond, x.Tuples[bi], dr)
 				if err != nil {
 					return err
 				}
@@ -396,16 +506,27 @@ func AccumulateOperator(x *relation.Relation, op Operator, detail RowSource, use
 					if err := st.layout.Accumulate(accs[bi], dr); err != nil {
 						return err
 					}
-					out.Touched[bi] = true
+					hits[bi]++
 				}
 			}
 			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
 	}
-	return out, nil
+	return scanShardCounted(detail, worker, func(dr relation.Tuple) error {
+		for bi, br := range x.Tuples {
+			ok, err := expr.EvalCond(st.cond, br, dr)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := st.layout.Accumulate(accs[bi], dr); err != nil {
+					return err
+				}
+				hits[bi]++
+			}
+		}
+		return nil
+	})
 }
 
 // ExtendedSchema returns the base schema extended with the operator's
@@ -471,7 +592,13 @@ func (a *OperatorAccum) physWidth() int {
 // over the detail rows satisfying the variable's condition, and returns x
 // extended with the new physical and derived columns. x is not modified.
 func ApplyOperator(x *relation.Relation, op Operator, detail RowSource, useHash bool) (*relation.Relation, error) {
-	acc, err := AccumulateOperator(x, op, detail, useHash)
+	return ApplyOperatorWorkers(x, op, detail, useHash, 1)
+}
+
+// ApplyOperatorWorkers is ApplyOperator with worker-parallel detail scans
+// (see AccumulateOperatorWorkers for the workers contract).
+func ApplyOperatorWorkers(x *relation.Relation, op Operator, detail RowSource, useHash bool, workers int) (*relation.Relation, error) {
+	acc, err := AccumulateOperatorWorkers(x, op, detail, useHash, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,237 @@
+package gmdj
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"skalla/internal/agg"
+	"skalla/internal/expr"
+	"skalla/internal/relation"
+)
+
+// skewedFlows builds a detail relation with deliberately skewed group keys:
+// frac of the rows land on (1,1), the rest spread over groups cardinality
+// distinct keys. Values are integers, so every aggregate is exact and the
+// parallel/sequential comparison can demand byte identity.
+func skewedFlows(seed int64, rows, groups int, frac float64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(relation.MustSchema(
+		relation.Column{Name: "SAS", Kind: relation.KindInt},
+		relation.Column{Name: "DAS", Kind: relation.KindInt},
+		relation.Column{Name: "NB", Kind: relation.KindInt},
+	))
+	for i := 0; i < rows; i++ {
+		sas, das := int64(1), int64(1)
+		if rng.Float64() >= frac {
+			sas = int64(rng.Intn(groups) + 1)
+			das = int64(rng.Intn(4) + 1)
+		}
+		r.MustAppend(relation.Tuple{
+			relation.NewInt(sas), relation.NewInt(das),
+			relation.NewInt(int64(rng.Intn(1000))),
+		})
+	}
+	return r
+}
+
+func TestRelSourceSplit(t *testing.T) {
+	rel := skewedFlows(1, 100, 10, 0)
+	src := SourceOf(rel)
+	ss, ok := src.(SplittableSource)
+	if !ok {
+		t.Fatal("relSource does not implement SplittableSource")
+	}
+	for _, n := range []int{2, 3, 7, 100, 1000} {
+		shards := ss.Split(n)
+		if len(shards) == 0 {
+			t.Fatalf("Split(%d) declined on %d rows", n, rel.Len())
+		}
+		var got []relation.Tuple
+		total := 0
+		for _, sh := range shards {
+			total += sh.Len()
+			if err := sh.Scan(func(tp relation.Tuple) error {
+				got = append(got, tp)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if total != rel.Len() || len(got) != rel.Len() {
+			t.Fatalf("Split(%d): %d rows across shards, want %d", n, len(got), rel.Len())
+		}
+		for i, tp := range got {
+			if &tp[0] != &rel.Tuples[i][0] {
+				t.Fatalf("Split(%d): shard concatenation reorders rows at %d", n, i)
+			}
+		}
+	}
+	if ss.Split(1) != nil {
+		t.Error("Split(1) should decline")
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	maxProcs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		workers, rows, want int
+	}{
+		{1, 1 << 20, 1},              // explicit sequential
+		{0, 10, 1},                   // auto: too small to shard
+		{0, minAutoShardRows - 1, 1}, // auto: still one shard's worth
+		{4, 100, 4},                  // explicit honored
+		{7, 3, 3},                    // capped by rows
+		{4, 0, 1},                    // empty source
+	}
+	for _, c := range cases {
+		if got := resolveWorkers(c.workers, c.rows); got != c.want {
+			t.Errorf("resolveWorkers(%d, %d) = %d, want %d", c.workers, c.rows, got, c.want)
+		}
+	}
+	// Auto on a big source saturates at GOMAXPROCS.
+	if got := resolveWorkers(0, minAutoShardRows*maxProcs*4); got != maxProcs {
+		t.Errorf("resolveWorkers(0, big) = %d, want GOMAXPROCS=%d", got, maxProcs)
+	}
+}
+
+// TestParallelByteIdentical is the tentpole's teeth: for a pinned seed, every
+// worker count must reproduce the sequential evaluation byte for byte —
+// same rows, same order, same values — across base queries (with filters and
+// grouping sets), chained operators with derived-column conditions, and
+// prefix plans.
+func TestParallelByteIdentical(t *testing.T) {
+	detail := skewedFlows(42, 9000, 48, 0.3)
+	data := Data{"Flow": detail}
+	queries := map[string]Query{
+		"example1": example1(),
+		"filtered-base": {
+			Base: BaseQuery{Detail: "Flow", Cols: []string{"SAS", "DAS"}, Where: expr.MustParse("R.SAS != 3")},
+			Ops: []Operator{
+				{Detail: "Flow", Vars: []GroupVar{{
+					Aggs: []agg.Spec{
+						{Func: agg.Sum, Arg: "NB", As: "s"},
+						{Func: agg.Min, Arg: "NB", As: "lo"},
+						{Func: agg.Max, Arg: "NB", As: "hi"},
+					},
+					Cond: expr.MustParse("B.SAS = R.SAS && B.DAS = R.DAS"),
+				}}},
+			},
+		},
+		"grouping-sets": {
+			Base: BaseQuery{
+				Detail: "Flow", Cols: []string{"SAS", "DAS"},
+				GroupingSets: [][]string{{"SAS", "DAS"}, {"SAS"}, {}},
+			},
+			Ops: []Operator{
+				{Detail: "Flow", Vars: []GroupVar{{
+					Aggs: []agg.Spec{{Func: agg.Count, As: "cnt"}},
+					Cond: expr.MustParse("(B.SAS IS NULL || B.SAS = R.SAS) && (B.DAS IS NULL || B.DAS = R.DAS)"),
+				}}},
+			},
+		},
+	}
+	for name, q := range queries {
+		q := q
+		t.Run(name, func(t *testing.T) {
+			// The nested-loop path is O(|detail| × |X|); cross-check it on one
+			// query shape and keep the rest on the hash path for test speed.
+			hashModes := []bool{true, false}
+			if name != "example1" {
+				hashModes = []bool{true}
+			}
+			for _, useHash := range hashModes {
+				want, err := evalPrefixX(q, data, len(q.Ops), useHash, 1)
+				if err != nil {
+					t.Fatalf("useHash=%v sequential: %v", useHash, err)
+				}
+				wantText := want.Format(1 << 20)
+				for _, workers := range []int{0, 2, 7, runtime.GOMAXPROCS(0)} {
+					got, err := evalPrefixX(q, data, len(q.Ops), useHash, workers)
+					if err != nil {
+						t.Fatalf("useHash=%v workers=%d: %v", useHash, workers, err)
+					}
+					if gotText := got.Format(1 << 20); gotText != wantText {
+						t.Fatalf("useHash=%v workers=%d diverges from sequential\ngot:\n%.2000s\nwant:\n%.2000s",
+							useHash, workers, gotText, wantText)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelHeavyHitter drives the dedicated-combiner path: one group key
+// owns most of the detail mass, far past the heavy-hitter threshold, and the
+// merged result must still match the sequential evaluation exactly.
+func TestParallelHeavyHitter(t *testing.T) {
+	detail := skewedFlows(7, 30000, 16, 0.9) // ~27k rows on group (1,1)
+	data := Data{"Flow": detail}
+	q := example1()
+	want, err := evalPrefixX(q, data, len(q.Ops), true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := evalPrefixX(q, data, len(q.Ops), true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := got.Format(1<<20), want.Format(1<<20); g != w {
+		t.Fatalf("heavy-hitter parallel run diverges\ngot:\n%.2000s\nwant:\n%.2000s", g, w)
+	}
+}
+
+// TestParallelTouched checks that the Prop. 1 guard flags survive the
+// parallel merge: Touched must be the OR of every worker's hits.
+func TestParallelTouched(t *testing.T) {
+	detail := skewedFlows(11, 12000, 32, 0.2)
+	// A base with extra rows no detail row matches: their Touched must stay
+	// false under both paths.
+	base, err := EvalBase(BaseQuery{Detail: "Flow", Cols: []string{"SAS", "DAS"}}, SourceOf(detail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.MustAppend(relation.Tuple{relation.NewInt(9999), relation.NewInt(9999)})
+	op := example1().Ops[0]
+	seq, err := AccumulateOperatorWorkers(base, op, SourceOf(detail), true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AccumulateOperatorWorkers(base, op, SourceOf(detail), true, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Touched) != len(par.Touched) {
+		t.Fatalf("Touched length %d vs %d", len(seq.Touched), len(par.Touched))
+	}
+	for i := range seq.Touched {
+		if seq.Touched[i] != par.Touched[i] {
+			t.Fatalf("Touched[%d]: sequential %v, parallel %v", i, seq.Touched[i], par.Touched[i])
+		}
+	}
+	if par.Touched[len(par.Touched)-1] {
+		t.Error("unmatched base row marked Touched")
+	}
+}
+
+// TestParallelScanError checks that a mid-scan evaluation error surfaces from
+// the worker pool instead of hanging or being swallowed.
+func TestParallelScanError(t *testing.T) {
+	detail := relation.New(relation.MustSchema(
+		relation.Column{Name: "SAS", Kind: relation.KindInt},
+		relation.Column{Name: "NB", Kind: relation.KindString},
+	))
+	for i := 0; i < 8000; i++ {
+		detail.MustAppend(relation.Tuple{relation.NewInt(1), relation.NewString(fmt.Sprintf("x%d", i))})
+	}
+	base := relation.New(relation.MustSchema(relation.Column{Name: "SAS", Kind: relation.KindInt}))
+	base.MustAppend(relation.Tuple{relation.NewInt(1)})
+	op := Operator{Detail: "Flow", Vars: []GroupVar{{
+		Aggs: []agg.Spec{{Func: agg.Sum, Arg: "NB", As: "s"}}, // SUM over a string column fails at accumulate
+		Cond: expr.MustParse("B.SAS = R.SAS"),
+	}}}
+	if _, err := AccumulateOperatorWorkers(base, op, SourceOf(detail), true, 4); err == nil {
+		t.Fatal("expected an accumulate error from the parallel path")
+	}
+}

@@ -79,6 +79,15 @@ var (
 		"H blocks emitted by site operator evaluations (row blocking counts each block).")
 	EngineRowsScanned = Default.Counter("skalla_engine_rows_scanned_total",
 		"Detail-relation rows scanned by GMDJ evaluation (base and operator passes).")
+	EngineWorkerRows = Default.CounterVec("skalla_engine_worker_rows_scanned_total",
+		"Detail-relation rows scanned by parallel evaluation workers, by worker index (skewed shard assignments show up as unbalanced series).",
+		"worker")
+	EngineEvalWorkers = Default.Gauge("skalla_engine_eval_workers",
+		"Effective worker count of the most recent sharded scan (1 = sequential).")
+
+	// Coordinator merge parallelism (internal/core).
+	CoordMergeWorkers = Default.Gauge("skalla_coord_merge_workers",
+		"Concurrent per-site stage commits currently running in the coordinator's sync-merge.")
 )
 
 // QueryLabel normalizes a query ID for use as a metric label value.

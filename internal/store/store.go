@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"skalla/internal/gmdj"
 	"skalla/internal/obs"
 	"skalla/internal/relation"
 )
@@ -234,6 +235,105 @@ func (t *Table) Scan(fn func(relation.Tuple) error) error {
 		}
 	}
 	for _, row := range buffered {
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Split implements gmdj.SplittableSource: contiguous segment-aligned spans of
+// near-equal row mass, so no segment is decoded by more than one worker and
+// the concatenation of the shard scans is exactly one full Scan (sealed
+// segments in order, then the buffered tail). Returns nil when the table has
+// too few units to shard.
+func (t *Table) Split(n int) []gmdj.RowSource {
+	t.mu.Lock()
+	segs := append([]segmentMeta{}, t.segments...)
+	buffered := append([]relation.Tuple{}, t.buf...)
+	t.mu.Unlock()
+
+	units := len(segs)
+	if len(buffered) > 0 {
+		units++
+	}
+	if n > units {
+		n = units
+	}
+	if n <= 1 {
+		return nil
+	}
+
+	total := len(buffered)
+	for _, s := range segs {
+		total += s.Rows
+	}
+
+	out := make([]gmdj.RowSource, 0, n)
+	next := 0 // next unassigned segment ordinal
+	done := 0 // rows assigned so far
+	for w := 0; w < n; w++ {
+		span := tableSpan{t: t, first: next}
+		// Fill to this shard's proportional row boundary, but never take a
+		// unit that a remaining shard needs to stay non-empty.
+		bound := total * (w + 1) / n
+		for next < len(segs) {
+			unitsLeft := len(segs) - next
+			if len(buffered) > 0 {
+				unitsLeft++
+			}
+			if unitsLeft <= n-w-1 {
+				break
+			}
+			if len(span.segs) > 0 && done >= bound {
+				break
+			}
+			span.segs = append(span.segs, segs[next])
+			span.rows += segs[next].Rows
+			done += segs[next].Rows
+			next++
+		}
+		if w == n-1 && len(buffered) > 0 {
+			span.buf = buffered
+			span.rows += len(buffered)
+		}
+		out = append(out, span)
+	}
+	return out
+}
+
+// tableSpan is one shard of a table scan: a contiguous run of sealed
+// segments, optionally followed by the buffered-tail snapshot (last shard
+// only). Spans share the parent's segment cache, which is mutex-protected,
+// so concurrent shard scans are safe.
+type tableSpan struct {
+	t     *Table
+	segs  []segmentMeta
+	first int // ordinal of segs[0] in the parent table
+	buf   []relation.Tuple
+	rows  int
+}
+
+// Schema implements the RowSource contract.
+func (s tableSpan) Schema() relation.Schema { return s.t.schema }
+
+// Len implements the RowSource contract.
+func (s tableSpan) Len() int { return s.rows }
+
+// Scan implements the RowSource contract over the span's segments.
+func (s tableSpan) Scan(fn func(relation.Tuple) error) error {
+	for i, seg := range s.segs {
+		rows, err := s.t.loadSegment(s.first+i, seg)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			if err := fn(row); err != nil {
+				return err
+			}
+		}
+	}
+	for _, row := range s.buf {
 		if err := fn(row); err != nil {
 			return err
 		}

@@ -252,6 +252,7 @@ type clusterConfig struct {
 	blockRows  int
 	traceTo    io.Writer
 	retry      core.RetryPolicy
+	workers    int
 }
 
 // WithCatalog attaches distribution knowledge, enabling the
@@ -294,6 +295,17 @@ func WithSiteRetry(p RetryPolicy) ClusterOption {
 	return func(c *clusterConfig) { c.retry = p }
 }
 
+// WithWorkers sets the evaluation parallelism: in-process sites shard their
+// detail scans across up to n workers, and the coordinator commits up to n
+// per-site result streams concurrently during synchronization. 0 (the
+// default) sizes automatically from GOMAXPROCS and the data; 1 forces fully
+// sequential evaluation. For clusters built with Connect the sites run in
+// their own processes — set their parallelism with skalla-site -workers —
+// and this option governs only the coordinator's concurrent merge.
+func WithWorkers(n int) ClusterOption {
+	return func(c *clusterConfig) { c.workers = n }
+}
+
 // NewLocalCluster creates an in-process cluster of n empty sites. Load data
 // with Load or LoadPartitions.
 func NewLocalCluster(n int, opts ...ClusterOption) (*Cluster, error) {
@@ -305,6 +317,7 @@ func NewLocalCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	loaders := make([]transport.Loader, n)
 	for i := 0; i < n; i++ {
 		es := engine.NewSite(i)
+		es.SetWorkers(cfg.workers)
 		if cfg.serialized {
 			ls := transport.NewLocalSite(es)
 			sites[i], loaders[i] = ls, ls
@@ -319,6 +332,7 @@ func NewLocalCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	}
 	coord.SetRowBlocking(cfg.blockRows)
 	coord.SetRetryPolicy(cfg.retry)
+	coord.SetMergeWorkers(cfg.workers)
 	if cfg.traceTo != nil {
 		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
 	}
@@ -350,6 +364,7 @@ func Connect(addrs []string, opts ...ClusterOption) (*Cluster, error) {
 	}
 	coord.SetRowBlocking(cfg.blockRows)
 	coord.SetRetryPolicy(cfg.retry)
+	coord.SetMergeWorkers(cfg.workers)
 	if cfg.traceTo != nil {
 		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
 	}
@@ -451,6 +466,7 @@ func NewTieredLocalCluster(leaves, relays int, opts ...ClusterOption) (*Cluster,
 	loaders := make([]transport.Loader, leaves)
 	for i := 0; i < leaves; i++ {
 		es := engine.NewSite(i)
+		es.SetWorkers(cfg.workers)
 		if cfg.serialized {
 			ls := transport.NewLocalSite(es)
 			leafSites[i], loaders[i] = ls, ls
@@ -485,6 +501,7 @@ func NewTieredLocalCluster(leaves, relays int, opts ...ClusterOption) (*Cluster,
 	}
 	coord.SetRowBlocking(cfg.blockRows)
 	coord.SetRetryPolicy(cfg.retry)
+	coord.SetMergeWorkers(cfg.workers)
 	if cfg.traceTo != nil {
 		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
 	}
