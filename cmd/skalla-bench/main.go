@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"skalla/internal/bench"
+	"skalla/internal/plan"
 	"skalla/internal/stats"
 	"skalla/internal/tpc"
 )
@@ -34,7 +36,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("skalla-bench", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "experiment: 2, 3, 4, 5, formula, or all")
+		fig       = fs.String("fig", "all", "experiment: 2, 3, 4, 5, formula, plan, or all")
 		sites     = fs.Int("sites", 8, "sites for the speed-up experiments")
 		rows      = fs.Int("rows", 48000, "fact tuples (total for speed-up; per ×1 scale for Fig. 5)")
 		customers = fs.Int("customers", 16000, "CustName cardinality")
@@ -46,6 +48,7 @@ func run(args []string, out io.Writer) error {
 		netFlag   = fs.String("net", "lan", "network model: lan or none")
 		jsonPath  = fs.String("json", "", "also write the measured series as JSON to this file")
 		workers   = fs.Int("workers", 1, "evaluation workers per site and concurrent merge commits (0 = auto, 1 = sequential paper-shaped runs)")
+		planMode  = fs.String("plan-mode", "", "fig plan: run a single selection (auto, none, all, rules=<name>,...) instead of the none/all/auto comparison")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +111,36 @@ func run(args []string, out io.Writer) error {
 				title += " — constant groups"
 			}
 			fmt.Fprint(out, bench.Render(title, rows))
+		case "plan":
+			d, err := tpc.Generate(cfg, *sites)
+			if err != nil {
+				return err
+			}
+			var rows []bench.Row
+			if *planMode != "" {
+				sel, err := plan.ParseSelection(*planMode)
+				if err != nil {
+					return err
+				}
+				rows, err = bench.SpeedUpWith(ctx, d, bench.TwoPhaseQuery(bench.HighCardAttr, true), sel, "mode/"+sel.String(), *sites, net)
+				if err != nil {
+					return err
+				}
+			} else {
+				rows, err = bench.PlanModes(ctx, d, *sites, net)
+				if err != nil {
+					return err
+				}
+			}
+			collected["plan"] = rows
+			fmt.Fprint(out, bench.Render("Plan modes: Egil rule selections on the Example 1 query", rows))
+			for _, r := range rows {
+				if r.X == *sites {
+					fmt.Fprintf(out, "  %-12s plan %s rules=%s est %d round(s) / %d B, actual %d round(s) / %d B\n",
+						r.Series, r.Plan.Fingerprint, strings.Join(r.Plan.Rules, ","),
+						r.Plan.EstRounds, r.Plan.EstBytesDown+r.Plan.EstBytesUp, r.Rounds, r.Bytes)
+				}
+			}
 		case "formula":
 			d, err := tpc.Generate(cfg, *sites)
 			if err != nil {
@@ -130,7 +163,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *fig == "all" {
-		for _, f := range []string{"2", "3", "4", "5", "formula"} {
+		for _, f := range []string{"2", "3", "4", "5", "plan", "formula"} {
 			if err := runFig(f); err != nil {
 				return err
 			}

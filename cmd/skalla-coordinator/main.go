@@ -52,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		siteTimeout = fs.Duration("site-timeout", 30*time.Second, "per-attempt deadline for one site call (0 = none)")
 		workers     = fs.Int("workers", 0, "concurrent per-site merge commits during synchronization: 0 = auto, 1 = serial")
 		optsFlag    = fs.String("opts", "all", "optimizations: all, none, or a comma list of coalesce,group-site,group-coord,sync")
+		planMode    = fs.String("plan-mode", "", "planner rule selection: auto, none, all, or rules=<name>,... (overrides -opts)")
 		explain     = fs.Bool("explain", false, "print the plan without executing")
 		replFlag    = fs.Bool("repl", false, "interactive mode: read statements from stdin")
 		netFlag     = fs.String("net", "none", "network model for response-time reporting: none or lan")
@@ -116,6 +117,11 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *planMode != "" {
+		if _, err := skalla.ParseSelection(*planMode); err != nil {
+			return err
+		}
+	}
 
 	addrs := strings.Split(*sitesFlag, ",")
 	retry := skalla.DefaultRetryPolicy()
@@ -128,6 +134,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *trace {
 		clusterOpts = append(clusterOpts, skalla.WithTrace(out))
+	}
+	if *planMode != "" {
+		clusterOpts = append(clusterOpts, skalla.WithPlanMode(*planMode))
 	}
 	if *data != "" {
 		m, err := manifest.Load(*data)
@@ -157,14 +166,24 @@ func run(args []string, out io.Writer) error {
 
 	ctx := context.Background()
 	if *explain {
-		desc, err := cluster.Explain(ctx, q, opts)
+		var desc string
+		if *planMode != "" {
+			desc, err = cluster.ExplainSelected(ctx, q)
+		} else {
+			desc, err = cluster.Explain(ctx, q, opts)
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, desc)
 		return nil
 	}
-	res, err := cluster.Execute(ctx, q, opts)
+	var res *skalla.Result
+	if *planMode != "" {
+		res, err = cluster.ExecuteSelected(ctx, q)
+	} else {
+		res, err = cluster.Execute(ctx, q, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -179,11 +198,20 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprint(out, res.Metrics.String())
 	if *statsJSON != "" {
 		// The export carries the raw metrics plus the percentile summaries
-		// (per-call site compute and bytes, per-round sync-merge time).
+		// (per-call site compute and bytes, per-round sync-merge time) and
+		// the plan's identity with estimated-vs-actual bytes per round.
 		export := struct {
 			*stats.Metrics
 			Summary stats.Summary `json:"summary"`
-		}{res.Metrics, res.Metrics.Summary()}
+			Plan    planStats     `json:"plan"`
+		}{res.Metrics, res.Metrics.Summary(), planStats{
+			Fingerprint: res.Plan.Fingerprint,
+			Mode:        res.Plan.Mode,
+			Rules:       res.Plan.Rules,
+			EstRounds:   res.Plan.Estimate.Rounds,
+			EstBytes:    res.Plan.Estimate.TotalBytes(),
+			Rounds:      res.Plan.CompareRounds(res.Metrics),
+		}}
 		data, err := json.MarshalIndent(export, "", "  ")
 		if err != nil {
 			return err
@@ -193,6 +221,18 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// planStats is the plan section of the -stats-json export: the compiled
+// plan's identity plus the cost model's per-round estimates joined with the
+// measured bytes.
+type planStats struct {
+	Fingerprint string           `json:"fingerprint"`
+	Mode        string           `json:"mode"`
+	Rules       []string         `json:"rules"`
+	EstRounds   int              `json:"est_rounds"`
+	EstBytes    int64            `json:"est_bytes"`
+	Rounds      []plan.RoundCost `json:"rounds"`
 }
 
 func parseOpts(s string) (skalla.Options, error) {

@@ -62,7 +62,7 @@ func TestCoordinatorExecutes(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	for _, frag := range []string{"group(s):", "flows", "avgBytes", "plan:", "rounds: 1", "total:"} {
+	for _, frag := range []string{"group(s):", "flows", "avgBytes", "plan ", "rounds: 1", "total:"} {
 		if !strings.Contains(s, frag) {
 			t.Errorf("output missing %q:\n%s", frag, s)
 		}
@@ -212,5 +212,67 @@ func TestCoordinatorTrace(t *testing.T) {
 		if !strings.Contains(s, frag) {
 			t.Errorf("trace missing %q:\n%s", frag, s)
 		}
+	}
+}
+
+// -plan-mode drives the Egil v2 selection path: auto compiles through the
+// cost model, -explain prints the rule trace, and the -stats-json export
+// gains the plan section with estimated-vs-actual bytes per round.
+func TestCoordinatorPlanMode(t *testing.T) {
+	dir, sites := startCluster(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-sites", sites, "-data", dir, "-q", testQuery, "-plan-mode", "auto", "-explain",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"mode auto", "rule ", "estimated cost:"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("explain output missing %q:\n%s", frag, s)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "stats.json")
+	out.Reset()
+	err = run([]string{
+		"-sites", sites, "-data", dir, "-q", testQuery,
+		"-plan-mode", "rules=local-prefix", "-stats-json", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var export struct {
+		Plan struct {
+			Fingerprint string   `json:"fingerprint"`
+			Mode        string   `json:"mode"`
+			Rules       []string `json:"rules"`
+			Rounds      []struct {
+				Name            string `json:"Name"`
+				EstBytesUp      int64  `json:"EstBytesUp"`
+				ActualBytesUp   int64  `json:"ActualBytesUp"`
+				ActualBytesDown int64  `json:"ActualBytesDown"`
+			} `json:"rounds"`
+		} `json:"plan"`
+	}
+	if err := json.Unmarshal(data, &export); err != nil {
+		t.Fatal(err)
+	}
+	p := export.Plan
+	if p.Fingerprint == "" || len(p.Rules) != 1 || p.Rules[0] != "local-prefix" {
+		t.Errorf("plan section = %+v", p)
+	}
+	if len(p.Rounds) != 1 || p.Rounds[0].EstBytesUp <= 0 || p.Rounds[0].ActualBytesUp <= 0 {
+		t.Errorf("round comparison = %+v", p.Rounds)
+	}
+
+	// Bad selections fail before dialing any site.
+	if err := run([]string{"-sites", sites, "-q", testQuery, "-plan-mode", "frob"}, &out); err == nil {
+		t.Error("bad -plan-mode: expected error")
 	}
 }

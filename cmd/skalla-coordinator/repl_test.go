@@ -74,7 +74,7 @@ SELECT SourceAS, COUNT(*) AS n FROM Flow GROUP BY SourceAS;
 \help
 \q
 `)
-	for _, frag := range []string{"optimizations: [none]", "explain-only: true", "plan:", "commands:"} {
+	for _, frag := range []string{"optimizations: [none]", "explain-only: true", "plan ", "commands:"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("missing %q in:\n%s", frag, out)
 		}

@@ -137,9 +137,16 @@ func ExampleCluster_Explain() {
 	}
 	fmt.Print(desc)
 	// Output:
-	// plan: 2 site(s), options [coalesce,group-reduce-site,group-reduce-coord,sync-reduce]
+	// plan 1fc38a6009d5b868: 2 site(s), mode all
 	//   operators: 1 (coalescing merges: 0)
 	//   synchronization rounds: 1
 	//   sync reduction: base sync folded into MD1 (Prop. 2)
-	//   MD1: coordinator-side group reduction: false, site-side guard: true
+	//   MD1: coordinator-side group reduction: false, site-side guard: false
+	//   rule coalesce           skipped: no adjacent independent operators
+	//   rule local-prefix       skipped: no partition-aligned operator prefix
+	//   rule sync-skip          applied: base sync folded into MD1 (Prop. 2) (est -1 round(s), -37056 B)
+	//   rule group-reduce-coord applied: reduction predicates for 0 of 1 operator round(s) (est +0 round(s), +0 B)
+	//   rule group-reduce-site  skipped: no coordinator-driven operator rounds to guard
+	//   estimated cost: 1 round(s), 192 B down, 34816 B up
+	//     round base+MD1         est 192 B down, 34816 B up
 }

@@ -138,6 +138,21 @@ type Row struct {
 	// compute and message sizes, per-round sync-merge time) into the -json
 	// export, so latency-shape regressions show up even when totals hold.
 	Summary stats.Summary
+	// Plan identifies the compiled plan the point was measured under:
+	// fingerprint, mode, applied rules, and the cost model's estimate.
+	Plan RowPlan
+}
+
+// RowPlan is the planner's identity record on a measured Row: which plan ran
+// (fingerprint + rules) and what the cost model predicted for it, so bench
+// artifacts tie measurements back to planner decisions.
+type RowPlan struct {
+	Fingerprint  string
+	Mode         string
+	Rules        []string
+	EstRounds    int
+	EstBytesDown int64
+	EstBytesUp   int64
 }
 
 // RoundRow is the per-synchronization-round traffic breakdown of a Row. It
@@ -150,6 +165,10 @@ type RoundRow struct {
 	RowsDown      int
 	RowsUp        int
 	BytesPerGroup float64 // upward bytes per final result group; 0 when no groups
+	// EstBytesDown/Up are the cost model's predictions for the round, so the
+	// model's calibration is visible next to each measurement.
+	EstBytesDown int64
+	EstBytesUp   int64
 }
 
 // measure runs one query under the given options and folds the metrics into
@@ -159,6 +178,21 @@ func measure(ctx context.Context, c *Cluster, q gmdj.Query, opts plan.Options, s
 	if err != nil {
 		return Row{}, err
 	}
+	return foldRow(res, series, x), nil
+}
+
+// measureWith is measure under a rule selection instead of the legacy
+// switches.
+func measureWith(ctx context.Context, c *Cluster, q gmdj.Query, sel plan.Selection, series string, x int) (Row, error) {
+	res, err := c.Coord.ExecuteWith(ctx, q, sel)
+	if err != nil {
+		return Row{}, err
+	}
+	return foldRow(res, series, x), nil
+}
+
+// foldRow folds one execution's metrics and plan into a Row.
+func foldRow(res *core.Result, series string, x int) Row {
 	m := res.Metrics
 	groups := res.Rel.Len()
 	rowsDown, rowsUp := 0, 0
@@ -176,6 +210,11 @@ func measure(ctx context.Context, c *Cluster, q gmdj.Query, opts plan.Options, s
 		}
 		if groups > 0 {
 			rr.BytesPerGroup = float64(rr.BytesUp) / float64(groups)
+		}
+		if i < len(res.Plan.Estimate.PerRound) {
+			re := res.Plan.Estimate.PerRound[i]
+			rr.EstBytesDown = re.BytesDown
+			rr.EstBytesUp = re.BytesUp
 		}
 		detail = append(detail, rr)
 	}
@@ -197,7 +236,15 @@ func measure(ctx context.Context, c *Cluster, q gmdj.Query, opts plan.Options, s
 		CommTime:    m.CommTime(),
 		RoundDetail: detail,
 		Summary:     m.Summary(),
-	}, nil
+		Plan: RowPlan{
+			Fingerprint:  res.Plan.Fingerprint,
+			Mode:         res.Plan.Mode,
+			Rules:        res.Plan.Rules,
+			EstRounds:    res.Plan.Estimate.Rounds,
+			EstBytesDown: res.Plan.Estimate.BytesDown,
+			EstBytesUp:   res.Plan.Estimate.BytesUp,
+		},
+	}
 }
 
 // SpeedUp runs one query/options pair over 1..maxSites participating sites
@@ -216,6 +263,50 @@ func SpeedUp(ctx context.Context, d *tpc.Dataset, q gmdj.Query, opts plan.Option
 		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+// SpeedUpWith is SpeedUp under a rule selection instead of the legacy
+// switches.
+func SpeedUpWith(ctx context.Context, d *tpc.Dataset, q gmdj.Query, sel plan.Selection, series string, maxSites int, net stats.NetModel) ([]Row, error) {
+	var rows []Row
+	for n := 1; n <= maxSites; n++ {
+		c, err := NewTPCCluster(ctx, d, n, net)
+		if err != nil {
+			return nil, err
+		}
+		r, err := measureWith(ctx, c, q, sel, series, n)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s at %d sites: %w", series, n, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// PlanModes compares planner modes on the paper's Example 1 workload query
+// (the dependent two-operator query on the high-cardinality partition-
+// aligned attribute): baseline, all rules, and the cost-model-driven auto
+// mode. The exported rows carry fingerprints, rule lists, and estimated vs.
+// actual per-round bytes, so the planner's choices — and the cost model's
+// calibration — land in the bench artifacts.
+func PlanModes(ctx context.Context, d *tpc.Dataset, maxSites int, net stats.NetModel) ([]Row, error) {
+	q := TwoPhaseQuery(HighCardAttr, true)
+	var out []Row
+	for _, v := range []struct {
+		series string
+		sel    plan.Selection
+	}{
+		{"mode/none", plan.SelectNone()},
+		{"mode/all", plan.SelectAll()},
+		{"mode/auto", plan.SelectAuto()},
+	} {
+		rows, err := SpeedUpWith(ctx, d, q, v.sel, v.series, maxSites, net)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
 }
 
 // Fig2 reproduces the group-reduction experiment (Fig. 2): the dependent

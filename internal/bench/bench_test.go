@@ -312,3 +312,62 @@ func TestFormulaCheckRelError(t *testing.T) {
 		t.Error("zero prediction must not divide by zero")
 	}
 }
+
+// TestPlanModesExample1 is the planner acceptance check on the paper's
+// Example 1 workload shape: auto mode never plans more rounds (nor a worse
+// estimate) than enabling all rules, its result matches the unoptimized
+// baseline byte-for-byte, and the fingerprint is stable across compiles.
+func TestPlanModesExample1(t *testing.T) {
+	d := smallDataset(t, 4)
+	ctx := context.Background()
+	q := TwoPhaseQuery(HighCardAttr, true)
+	c, err := NewTPCCluster(ctx, d, 4, stats.DefaultLAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := c.Coord.PlanWith(ctx, q, plan.SelectAuto())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := c.Coord.PlanWith(ctx, q, plan.SelectAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Estimate.Rounds > all.Estimate.Rounds {
+		t.Errorf("auto plans %d round(s), all-rules plans %d", auto.Estimate.Rounds, all.Estimate.Rounds)
+	}
+	if auto.Estimate.Compare(all.Estimate) > 0 {
+		t.Errorf("auto estimate %s worse than all-rules %s", auto.Estimate, all.Estimate)
+	}
+	again, err := c.Coord.PlanWith(ctx, q, plan.SelectAuto())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Fingerprint != again.Fingerprint || auto.Fingerprint == "" {
+		t.Errorf("auto fingerprint unstable: %q vs %q", auto.Fingerprint, again.Fingerprint)
+	}
+	rows, err := PlanModes(ctx, d, 2, stats.NetModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("PlanModes rows = %d, want 6", len(rows))
+	}
+	byGroups := map[string]int{}
+	for _, r := range rows {
+		if r.Plan.Fingerprint == "" || r.Plan.Mode == "" {
+			t.Errorf("%s at %d sites: missing plan identity: %+v", r.Series, r.X, r.Plan)
+		}
+		if r.X == 2 {
+			byGroups[r.Series] = r.Groups
+		}
+		for _, rr := range r.RoundDetail {
+			if rr.EstBytesUp < 0 || rr.EstBytesDown < 0 {
+				t.Errorf("%s round %s: negative estimate", r.Series, rr.Name)
+			}
+		}
+	}
+	if byGroups["mode/none"] != byGroups["mode/all"] || byGroups["mode/none"] != byGroups["mode/auto"] {
+		t.Errorf("plan modes disagree on group count: %v", byGroups)
+	}
+}

@@ -109,9 +109,37 @@ func (c *Coordinator) SchemaSource(ctx context.Context) gmdj.SchemaSource {
 	return &schemaSource{ctx: ctx, site: c.sites[0], cache: make(map[string]relation.Schema)}
 }
 
-// Plan compiles the distributed plan for a query without executing it.
+// Plan compiles the distributed plan for a query without executing it, from
+// the legacy optimization switches (a shim over PlanWith).
 func (c *Coordinator) Plan(ctx context.Context, q gmdj.Query, opts plan.Options) (*plan.Plan, error) {
-	return plan.New(q, c.SchemaSource(ctx), c.cat, len(c.sites), opts)
+	pl, err := plan.New(q, c.SchemaSource(ctx), c.cat, len(c.sites), opts)
+	if err != nil {
+		return nil, err
+	}
+	recordPlanObs(pl)
+	return pl, nil
+}
+
+// PlanWith compiles the distributed plan for a query under a rule selection
+// (including plan.SelectAuto, which picks rules per query from the cost
+// model), without executing it.
+func (c *Coordinator) PlanWith(ctx context.Context, q gmdj.Query, sel plan.Selection) (*plan.Plan, error) {
+	pl, err := plan.Compile(q, c.SchemaSource(ctx), c.cat, len(c.sites), sel, plan.DefaultCostModel(c.net))
+	if err != nil {
+		return nil, err
+	}
+	recordPlanObs(pl)
+	return pl, nil
+}
+
+// recordPlanObs records the chosen plan's rule applications and cost
+// estimate (auto-mode candidates that lost the enumeration are not counted).
+func recordPlanObs(pl *plan.Plan) {
+	for _, r := range pl.Rules {
+		obs.PlanRulesApplied.With(r).Inc()
+	}
+	obs.PlanCostEstimate.With("down").Set(pl.Estimate.BytesDown)
+	obs.PlanCostEstimate.With("up").Set(pl.Estimate.BytesUp)
 }
 
 // Execute evaluates a complex GMDJ expression and returns the result
@@ -122,6 +150,18 @@ func (c *Coordinator) Execute(ctx context.Context, q gmdj.Query, opts plan.Optio
 	if err != nil {
 		return nil, err
 	}
+	recordPlanObs(pl)
+	return c.ExecutePlan(ctx, pl, src)
+}
+
+// ExecuteWith evaluates a complex GMDJ expression under a rule selection.
+func (c *Coordinator) ExecuteWith(ctx context.Context, q gmdj.Query, sel plan.Selection) (*Result, error) {
+	src := c.SchemaSource(ctx)
+	pl, err := plan.Compile(q, src, c.cat, len(c.sites), sel, plan.DefaultCostModel(c.net))
+	if err != nil {
+		return nil, err
+	}
+	recordPlanObs(pl)
 	return c.ExecutePlan(ctx, pl, src)
 }
 
@@ -378,7 +418,7 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 				Base:      frag,
 				Op:        op,
 				Keys:      pl.Keys(),
-				Guard:     pl.Opts.GroupReduceSite,
+				Guard:     pl.Guard,
 				BlockRows: c.blockRows,
 			}
 			errs[i] = c.withRetry(ctx, rs, i, func(actx context.Context) error {

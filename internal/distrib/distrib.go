@@ -109,6 +109,10 @@ type AttrInfo struct {
 	Attr     string
 	Filters  []SiteFilter // index = site; nil entry means unconstrained at that site
 	Disjoint bool
+	// Distinct is the estimated number of distinct values of the attribute
+	// across the deployment (0 = unknown). The planner's cost model uses it
+	// to estimate base-values cardinalities.
+	Distinct int64
 }
 
 // Filter returns site i's filter, or nil when unconstrained or unknown.
@@ -130,6 +134,9 @@ type Distribution struct {
 	NumSites int
 	Attrs    []AttrInfo
 	FDs      []FD
+	// TotalRows is the estimated number of detail tuples across all sites
+	// (0 = unknown). Cardinality estimates are capped at it.
+	TotalRows int64
 }
 
 // Attr returns the info for a named attribute.
@@ -271,6 +278,11 @@ func (d *Distribution) CheckData(site int, rel *relation.Relation) error {
 // Catalog bundles the distribution knowledge of all detail relations.
 type Catalog struct {
 	Relations map[string]*Distribution
+	// Generation counts catalog rebuilds: it changes whenever the
+	// distribution knowledge (partitioning, membership, statistics) is
+	// re-derived, invalidating every plan fingerprint computed against the
+	// previous knowledge. The zero value identifies the initial catalog.
+	Generation uint64
 }
 
 // NewCatalog builds a catalog from distributions.
@@ -289,6 +301,15 @@ func (c *Catalog) Distribution(rel string) *Distribution {
 		return nil
 	}
 	return c.Relations[rel]
+}
+
+// Gen returns the catalog's generation counter; nil catalogs are generation
+// zero (no distribution knowledge to go stale).
+func (c *Catalog) Gen() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.Generation
 }
 
 func init() {

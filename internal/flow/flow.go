@@ -152,10 +152,12 @@ func DistributionFor(c Config) *distrib.Distribution {
 		Relation: RelationName,
 		NumSites: n,
 		Attrs: []distrib.AttrInfo{
-			{Attr: "RouterId", Filters: routerFilters, Disjoint: true},
-			{Attr: "SourceAS", Filters: sasFilters, Disjoint: true},
+			{Attr: "RouterId", Filters: routerFilters, Disjoint: true, Distinct: int64(n)},
+			{Attr: "SourceAS", Filters: sasFilters, Disjoint: true, Distinct: int64(c.SourceAS)},
+			{Attr: "DestAS", Distinct: int64(c.DestAS)},
 		},
-		FDs: []distrib.FD{{From: "SourceAS", To: "RouterId"}},
+		FDs:       []distrib.FD{{From: "SourceAS", To: "RouterId"}},
+		TotalRows: int64(c.Rows),
 	}
 }
 

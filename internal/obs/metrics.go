@@ -88,6 +88,14 @@ var (
 	// Coordinator merge parallelism (internal/core).
 	CoordMergeWorkers = Default.Gauge("skalla_coord_merge_workers",
 		"Concurrent per-site stage commits currently running in the coordinator's sync-merge.")
+
+	// Planner (internal/plan, recorded by internal/core at compile time).
+	PlanRulesApplied = Default.CounterVec("skalla_plan_rule_applied_total",
+		"Optimizer rules applied to compiled plans, by rule name (auto-mode candidates are not counted; only the chosen plan is).",
+		"rule")
+	PlanCostEstimate = Default.GaugeVec("skalla_plan_cost_estimate_bytes",
+		"Estimated communication of the most recently compiled plan, by direction (down = coordinator→site).",
+		"direction")
 )
 
 // QueryLabel normalizes a query ID for use as a metric label value.

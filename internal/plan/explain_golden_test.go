@@ -1,0 +1,74 @@
+package plan
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"skalla/internal/distrib"
+	"skalla/internal/stats"
+)
+
+var updateExplain = flag.Bool("update", false, "rewrite testdata/explain_*.golden from the current Describe output")
+
+// goldenCatalog is flowCatalog plus cardinality statistics, so the golden
+// fixtures pin the cost model's estimate lines, not just the rule trace.
+func goldenCatalog(n int) *distrib.Catalog {
+	filters := make([]distrib.SiteFilter, n)
+	for i := range filters {
+		filters[i] = distrib.IntRange{Lo: int64(i * 100), Hi: int64(i*100 + 99)}
+	}
+	return distrib.NewCatalog(&distrib.Distribution{
+		Relation: "Flow",
+		NumSites: n,
+		Attrs: []distrib.AttrInfo{
+			{Attr: "SAS", Filters: filters, Disjoint: true, Distinct: 400},
+			{Attr: "DAS", Distinct: 50},
+		},
+		TotalRows: 20000,
+	})
+}
+
+// TestExplainGolden pins the complete Describe() output — plan header,
+// fingerprint, per-rule trace, and estimated cost — for each planner mode
+// against committed fixtures. Regenerate with:
+//
+//	go test ./internal/plan -run TestExplainGolden -update
+func TestExplainGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		sel  Selection
+	}{
+		{"none", SelectNone()},
+		{"all", SelectAll()},
+		{"auto", SelectAuto()},
+	}
+	cat := goldenCatalog(4)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Compile(chainQuery(), flowSchemas, cat, 4, tc.sel, DefaultCostModel(stats.DefaultLAN()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := p.Describe()
+			path := filepath.Join("testdata", "explain_"+tc.name+".golden")
+			if *updateExplain {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if got != string(want) {
+				t.Errorf("Describe() drifted from %s (regenerate with -update if intended)\n-- got --\n%s-- want --\n%s", path, got, want)
+			}
+		})
+	}
+}

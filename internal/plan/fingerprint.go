@@ -1,0 +1,38 @@
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+
+	"skalla/internal/distrib"
+)
+
+// fingerprintVersion is bumped whenever the hashed material or its encoding
+// changes, so fingerprints never collide across incompatible definitions.
+const fingerprintVersion = "skalla-plan-v1"
+
+// fingerprint computes the plan's canonical identity: a stable hash over the
+// rewritten query text, the applied rules (in canonical order), the site
+// count, and the catalog generation. Two compilations that would execute
+// identically share a fingerprint; a change in query shape, rule set,
+// deployment size, or distribution knowledge changes it. This is the cache
+// key a super-aggregate result cache indexes by.
+func fingerprint(p *Plan, cat *distrib.Catalog) string {
+	h := sha256.New()
+	io.WriteString(h, fingerprintVersion)
+	h.Write([]byte{0})
+	io.WriteString(h, p.Query.String())
+	h.Write([]byte{0})
+	for _, r := range p.Rules {
+		io.WriteString(h, r)
+		h.Write([]byte{0})
+	}
+	var tail [16]byte
+	binary.BigEndian.PutUint64(tail[:8], uint64(p.NumSites))
+	binary.BigEndian.PutUint64(tail[8:], cat.Gen())
+	h.Write(tail[:])
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,16 +1,29 @@
 // Package plan implements Egil, the Skalla query planner: it takes a complex
-// GMDJ expression, the distribution catalog, and a set of optimization
-// switches, and produces the distributed evaluation plan executed by the
-// coordinator (internal/core). Planning applies, in order:
+// GMDJ expression, the distribution catalog, and a rule selection, and
+// produces the distributed evaluation plan executed by the coordinator
+// (internal/core).
 //
-//  1. coalescing of adjacent independent MD operators (Sect. 4.3),
-//  2. the synchronization-reduction analyses — Proposition 2 (fold the
-//     base-values sync into the first operator round) and Corollary 1
-//     (evaluate the whole chain locally, one synchronization),
-//  3. distribution-aware group reduction (Theorem 4): per-operator, per-site
-//     coordinator-side predicates selecting the base fragment each site needs,
-//  4. the distribution-independent guard flag (Proposition 1), applied by the
-//     sites at execution time.
+// Since Egil v2, planning is a rule pipeline: each paper optimization is an
+// independent Rule (rules.go) driven to a fixpoint by a deterministic
+// multi-pass driver (driver.go), with per-rule Δcost accounting under a
+// communication CostModel (cost.go) and a canonical plan fingerprint
+// (fingerprint.go). The registered rules, in canonical order:
+//
+//   - coalesce: merge adjacent independent MD operators (Sect. 4.3);
+//   - local-prefix: evaluate a partition-aligned operator prefix locally
+//     with one synchronization (Thm. 5 / Cor. 1);
+//   - sync-skip: fold the base-values sync into the first operator round
+//     (Prop. 2; unsound on filtered bases, guarded);
+//   - group-reduce-coord: distribution-aware group reduction — per-operator,
+//     per-site coordinator-side predicates selecting the base fragment each
+//     site needs (Thm. 4);
+//   - group-reduce-site: the distribution-independent guard flag (Prop. 1),
+//     applied by the sites at execution time.
+//
+// The legacy Options booleans (the switch set of the paper's Sect. 5
+// experiments) remain as a compatibility shim over rule selection; new
+// callers use Compile with a Selection — including ModeAuto, which picks the
+// rule subset per query by estimated (rounds, bytes down/up).
 package plan
 
 import (
@@ -21,10 +34,13 @@ import (
 	"skalla/internal/expr"
 	"skalla/internal/gmdj"
 	"skalla/internal/relation"
+	"skalla/internal/stats"
 )
 
 // Options are the optimization switches studied in the paper's Sect. 5
 // experiments. The zero value disables everything (the baseline plans).
+// Options are a compatibility shim: each boolean selects pipeline rules per
+// OptionsSelection.
 type Options struct {
 	// Coalesce merges adjacent independent MD operators (Fig. 3).
 	Coalesce bool
@@ -74,7 +90,9 @@ func (o Options) String() string {
 type Plan struct {
 	// Query is the (possibly coalesced) query to execute.
 	Query gmdj.Query
-	// Opts are the switches the plan was compiled with.
+	// Opts are the legacy switches the plan corresponds to: the caller's
+	// booleans when compiled through New, or synthesized from the applied
+	// rules when compiled through Compile.
 	Opts Options
 	// NumSites is the number of participating sites.
 	NumSites int
@@ -91,83 +109,46 @@ type Plan struct {
 	// FullLocal is Cor. 1: LocalPrefix covers the entire chain, so the
 	// query runs in a single fully local round.
 	FullLocal bool
+	// Guard is Prop. 1: sites return only groups with |RNG| > 0 in
+	// coordinator-driven operator rounds.
+	Guard bool
 	// XSchemas[k] is the base-result structure schema after k operators.
 	XSchemas []relation.Schema
 	// Reducers[k][site] is the Thm. 4 base-fragment predicate for operator k
 	// at the given site; Reducers[k] == nil means no reduction derivable.
 	Reducers [][]distrib.ReductionPred
+
+	// Mode is the canonical selection the plan was compiled under
+	// ("none", "all", "auto", or "rules=...").
+	Mode string
+	// Rules lists the applied rules in canonical order.
+	Rules []string
+	// Trace records, per selected rule, whether it applied and its estimated
+	// cost delta (the explain trace).
+	Trace []RuleTrace
+	// Estimate is the plan's predicted communication cost.
+	Estimate CostEstimate
+	// Fingerprint is the plan's canonical identity: a stable hash over the
+	// rewritten query, the applied rules, the site count, and the catalog
+	// generation. Equal fingerprints mean equal execution.
+	Fingerprint string
+	// Candidates is the number of plans enumerated (1 except in auto mode).
+	Candidates int
 }
 
-// New compiles a plan. The schema source provides detail schemas (typically
-// fetched once from a site); cat may be nil when no distribution knowledge
-// exists, which disables the distribution-aware optimizations.
+// New compiles a plan from the legacy optimization switches. It is a shim
+// over Compile with OptionsSelection(opts) and the default cost model. The
+// schema source provides detail schemas (typically fetched once from a
+// site); cat may be nil when no distribution knowledge exists, which
+// disables the distribution-aware optimizations.
 func New(q gmdj.Query, src gmdj.SchemaSource, cat *distrib.Catalog, numSites int, opts Options) (*Plan, error) {
-	if numSites <= 0 {
-		return nil, fmt.Errorf("plan: numSites = %d", numSites)
-	}
-	if err := q.Validate(src); err != nil {
-		return nil, err
-	}
-	// Distribution knowledge must describe the same deployment.
-	if dist := cat.Distribution(q.Base.Detail); dist != nil && dist.NumSites != numSites {
-		return nil, fmt.Errorf("plan: catalog describes %d sites for %q, executing on %d",
-			dist.NumSites, q.Base.Detail, numSites)
-	}
-
-	p := &Plan{Opts: opts, NumSites: numSites}
-
-	p.Query = q
-	if opts.Coalesce {
-		cq, merges, err := gmdj.Coalesce(q, src)
-		if err != nil {
-			return nil, err
-		}
-		p.Query, p.Merges = cq, merges
-	}
-	// Simplify every condition before the distribution analyses and before
-	// shipping anything: constant folding and logical-identity elimination
-	// shrink the wire plans and can expose equality links (e.g. a front end
-	// emitting "true && B.k = R.k") to the Sect. 4 analyses.
-	p.Query = simplifyQuery(p.Query)
-
-	xs, err := gmdj.XSchemas(p.Query, src)
+	p, err := Compile(q, src, cat, numSites, OptionsSelection(opts), DefaultCostModel(stats.DefaultLAN()))
 	if err != nil {
 		return nil, err
 	}
-	p.XSchemas = xs
-
-	if opts.SyncReduce {
-		p.LocalPrefix = distrib.LocalPrefixLen(p.Query, cat)
-		p.FullLocal = len(p.Query.Ops) > 0 && p.LocalPrefix == len(p.Query.Ops)
-		if p.LocalPrefix == 0 {
-			p.SkipBaseSync = distrib.CanSkipBaseSync(p.Query)
-		}
-	}
-
-	if opts.GroupReduceCoord && !p.FullLocal {
-		dist := cat.Distribution(p.Query.Base.Detail)
-		p.Reducers = make([][]distrib.ReductionPred, len(p.Query.Ops))
-		for k, op := range p.Query.Ops {
-			if k < p.LocalPrefix {
-				continue // evaluated locally; nothing is shipped
-			}
-			opDist := dist
-			if op.Detail != p.Query.Base.Detail {
-				opDist = cat.Distribution(op.Detail)
-				if opDist != nil && opDist.NumSites != numSites {
-					return nil, fmt.Errorf("plan: catalog describes %d sites for %q, executing on %d",
-						opDist.NumSites, op.Detail, numSites)
-				}
-			}
-			preds, ok, err := distrib.GroupReducers(op, xs[k], opDist)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				p.Reducers[k] = preds
-			}
-		}
-	}
+	// Preserve the caller's requested switches verbatim (a requested switch
+	// may not have applied; Options-reading callers expect their input back).
+	p.Opts = opts
 	return p, nil
 }
 
@@ -188,10 +169,12 @@ func (p *Plan) Rounds() int {
 // Keys returns the base key attributes K.
 func (p *Plan) Keys() []string { return p.Query.Keys() }
 
-// Describe renders a human-readable plan summary (the CLI's EXPLAIN output).
+// Describe renders a human-readable plan summary (the CLI's EXPLAIN output):
+// the plan shape, then the per-rule trace with estimated cost deltas, then
+// the per-round traffic estimates.
 func (p *Plan) Describe() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan: %d site(s), options [%s]\n", p.NumSites, p.Opts)
+	fmt.Fprintf(&b, "plan %s: %d site(s), mode %s\n", p.Fingerprint, p.NumSites, p.Mode)
 	fmt.Fprintf(&b, "  operators: %d (coalescing merges: %d)\n", len(p.Query.Ops), p.Merges)
 	fmt.Fprintf(&b, "  synchronization rounds: %d\n", p.Rounds())
 	switch {
@@ -205,7 +188,32 @@ func (p *Plan) Describe() string {
 	for k := range p.Query.Ops {
 		reduced := p.Reducers != nil && k < len(p.Reducers) && p.Reducers[k] != nil
 		fmt.Fprintf(&b, "  MD%d: coordinator-side group reduction: %v, site-side guard: %v\n",
-			k+1, reduced, p.Opts.GroupReduceSite)
+			k+1, reduced, p.Guard)
+	}
+	for _, t := range p.Trace {
+		if t.Applied {
+			fmt.Fprintf(&b, "  rule %-18s applied: %s (est %+d round(s), %+d B)\n",
+				t.Rule, t.Detail, t.DeltaRounds, t.DeltaBytes)
+		} else {
+			fmt.Fprintf(&b, "  rule %-18s skipped: %s\n", t.Rule, t.Detail)
+		}
+	}
+	fmt.Fprintf(&b, "  estimated cost: %s\n", p.Estimate)
+	for _, r := range p.Estimate.PerRound {
+		fmt.Fprintf(&b, "    round %-16s est %d B down, %d B up\n", r.Name, r.BytesDown, r.BytesUp)
+	}
+	return b.String()
+}
+
+// DescribeExecution renders the per-round estimated vs. measured traffic
+// after a run — the calibration view the coordinator CLI appends to explain
+// output when metrics are available.
+func (p *Plan) DescribeExecution(m *stats.Metrics) string {
+	var b strings.Builder
+	b.WriteString("rounds (estimated vs. actual):\n")
+	for _, rc := range p.CompareRounds(m) {
+		fmt.Fprintf(&b, "  %-16s est %d B down / %d B up, actual %d B down / %d B up\n",
+			rc.Name, rc.EstBytesDown, rc.EstBytesUp, rc.ActualBytesDown, rc.ActualBytesUp)
 	}
 	return b.String()
 }

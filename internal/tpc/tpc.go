@@ -219,16 +219,20 @@ func DistributionFor(c Config, totalSites, n int) (*distrib.Distribution, error)
 		Relation: RelationName,
 		NumSites: n,
 		Attrs: []distrib.AttrInfo{
-			{Attr: "NationKey", Filters: nationFilters, Disjoint: true},
-			{Attr: "CustKey", Filters: custFilters, Disjoint: true},
-			{Attr: "CustName", Filters: nameFilters, Disjoint: true},
-			{Attr: "CityKey", Filters: cityFilters, Disjoint: true},
+			{Attr: "NationKey", Filters: nationFilters, Disjoint: true, Distinct: int64(c.Nations)},
+			{Attr: "CustKey", Filters: custFilters, Disjoint: true, Distinct: int64(c.Customers)},
+			{Attr: "CustName", Filters: nameFilters, Disjoint: true, Distinct: int64(c.Customers)},
+			{Attr: "CityKey", Filters: cityFilters, Disjoint: true, Distinct: int64(c.Nations * c.CitiesPerNation)},
+			{Attr: "Clerk", Distinct: int64(c.Clerks)},
 		},
 		FDs: []distrib.FD{
 			{From: "CustKey", To: "NationKey"},
 			{From: "CustName", To: "CustKey"},
 			{From: "CityKey", To: "NationKey"},
 		},
+		// The experiments vary participating sites over fixed per-site data,
+		// so the conceptual relation shrinks with n.
+		TotalRows: int64(c.Rows) * int64(n) / int64(totalSites),
 	}, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"skalla/internal/agg"
+	"skalla/internal/expr"
 )
 
 // ParseQueryText parses the line-oriented query description used by the
@@ -27,6 +28,7 @@ import (
 //	op B.SourceAS = R.SourceAS && B.DestAS = R.DestAS && R.NumBytes >= B.sum1 / B.cnt1 :: count(*) as cnt2
 func ParseQueryText(text string) (Query, error) {
 	var b *QueryBuilder
+	whereSeen, opSeen := false, false
 	for ln, raw := range strings.Split(text, "\n") {
 		line := raw
 		if i := strings.Index(line, "#"); i >= 0 {
@@ -51,6 +53,16 @@ func ParseQueryText(text string) (Query, error) {
 			if b == nil {
 				return Query{}, fmt.Errorf("skalla: line %d: where before base", ln+1)
 			}
+			if whereSeen {
+				return Query{}, fmt.Errorf("skalla: line %d: duplicate where clause (combine conditions with &&)", ln+1)
+			}
+			if opSeen {
+				return Query{}, fmt.Errorf("skalla: line %d: where after op (the base filter must precede the operators)", ln+1)
+			}
+			if _, err := expr.Parse(rest); err != nil {
+				return Query{}, fmt.Errorf("skalla: line %d: %w", ln+1, err)
+			}
+			whereSeen = true
 			b = b.Where(rest)
 		case "op":
 			if b == nil {
@@ -60,6 +72,10 @@ func ParseQueryText(text string) (Query, error) {
 			if err != nil {
 				return Query{}, fmt.Errorf("skalla: line %d: %w", ln+1, err)
 			}
+			if _, err := expr.Parse(cond); err != nil {
+				return Query{}, fmt.Errorf("skalla: line %d: %w", ln+1, err)
+			}
+			opSeen = true
 			if rel == "" {
 				b = b.Op(cond, aggs...)
 			} else {
@@ -75,6 +91,9 @@ func ParseQueryText(text string) (Query, error) {
 			}
 			aggs, err := ParseAggList(aggsText)
 			if err != nil {
+				return Query{}, fmt.Errorf("skalla: line %d: %w", ln+1, err)
+			}
+			if _, err := expr.Parse(cond); err != nil {
 				return Query{}, fmt.Errorf("skalla: line %d: %w", ln+1, err)
 			}
 			b = b.Var(cond, aggs...)

@@ -88,6 +88,46 @@ func TestParseQueryTextErrors(t *testing.T) {
 	}
 }
 
+// Duplicate where and where-after-op are rejected (the second where used to
+// silently overwrite the first), and the errors carry the offending line.
+func TestParseQueryTextWherePlacement(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string // expected error fragment, line number included
+	}{
+		{
+			src:  "base T key a\nwhere R.v > 0\nwhere R.v < 9\nop B.a = R.a :: count(*) as c",
+			frag: "line 3: duplicate where",
+		},
+		{
+			src:  "base T key a\nop B.a = R.a :: count(*) as c\nwhere R.v > 0",
+			frag: "line 3: where after op",
+		},
+		{
+			src:  "base T key a\n\n# comment\nwhere ((",
+			frag: "line 4:",
+		},
+		{
+			src:  "base T key a\nop B.a = R.a :: count(*) as c\nvar (( :: count(*) as c2",
+			frag: "line 3:",
+		},
+	}
+	for _, tc := range cases {
+		_, err := ParseQueryText(tc.src)
+		if err == nil {
+			t.Errorf("ParseQueryText(%q): expected error", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("ParseQueryText(%q): error %q missing %q", tc.src, err, tc.frag)
+		}
+	}
+	// A single where before the ops stays legal.
+	if _, err := ParseQueryText("base T key a\nwhere R.v > 0\nop B.a = R.a :: count(*) as c"); err != nil {
+		t.Errorf("legal where rejected: %v", err)
+	}
+}
+
 func TestParseAggList(t *testing.T) {
 	specs, err := ParseAggList("count(*) as c, SUM(x) AS s, avg(y) as a, min(z) as mn, max(z) as mx, count(w) as cw, variance(y) as vy, stdev(y) as sy")
 	if err != nil {

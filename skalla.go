@@ -65,8 +65,15 @@ type (
 	Query = gmdj.Query
 	// AggSpec is one aggregate in an operator's list.
 	AggSpec = agg.Spec
-	// Options are the optimization switches of the paper's Sect. 4.
+	// Options are the optimization switches of the paper's Sect. 4 (a
+	// compatibility shim over planner rule selection since Egil v2).
 	Options = plan.Options
+	// Selection names a planner rule selection: a mode (none, all, auto) or
+	// an explicit rule list. See WithPlanMode.
+	Selection = plan.Selection
+	// Plan is a compiled distributed evaluation plan (rule trace, cost
+	// estimate, and fingerprint included).
+	Plan = plan.Plan
 	// Result bundles the result relation, cost metrics, and the plan.
 	Result = core.Result
 	// Metrics is the per-round cost breakdown of an execution.
@@ -102,6 +109,18 @@ var (
 	// DefaultRetryPolicy is a production-shaped retry policy: three attempts,
 	// 50 ms initial backoff capped at 2 s, 30 s per attempt.
 	DefaultRetryPolicy = core.DefaultRetryPolicy
+
+	// Planner rule selections (Egil v2). SelectAuto picks the rule subset per
+	// query from the communication cost model.
+	SelectNone = plan.SelectNone
+	SelectAll  = plan.SelectAll
+	SelectAuto = plan.SelectAuto
+	// SelectRules applies exactly the named rules (see PlannerRules).
+	SelectRules = plan.SelectRules
+	// ParseSelection parses "auto", "none", "all", or "rules=a,b,...".
+	ParseSelection = plan.ParseSelection
+	// PlannerRules lists the registered rule names in canonical order.
+	PlannerRules = plan.RuleNames
 )
 
 // Aggregate constructors for the query builder.
@@ -240,6 +259,7 @@ type Cluster struct {
 	sites   []transport.Site
 	loaders []transport.Loader
 	closers []interface{ Close() error }
+	sel     plan.Selection
 }
 
 // ClusterOption configures cluster construction.
@@ -253,6 +273,9 @@ type clusterConfig struct {
 	traceTo    io.Writer
 	retry      core.RetryPolicy
 	workers    int
+	sel        plan.Selection
+	selSet     bool
+	selErr     error
 }
 
 // WithCatalog attaches distribution knowledge, enabling the
@@ -306,6 +329,35 @@ func WithWorkers(n int) ClusterOption {
 	return func(c *clusterConfig) { c.workers = n }
 }
 
+// WithPlanMode sets the cluster's default rule selection from the textual
+// plan-mode syntax: "auto" (cost-model-driven per query), "none", "all", or
+// "rules=<name>,..." (see PlannerRules). ExecuteSelected and ExplainSelected
+// plan under it; without this option they behave like "all".
+func WithPlanMode(mode string) ClusterOption {
+	return func(c *clusterConfig) {
+		sel, err := plan.ParseSelection(mode)
+		if err != nil {
+			c.selErr = err
+			return
+		}
+		c.sel, c.selSet = sel, true
+	}
+}
+
+// WithRules sets the cluster's default selection to exactly the named
+// planner rules (unknown names fail cluster construction; no names means
+// none).
+func WithRules(names ...string) ClusterOption {
+	return func(c *clusterConfig) {
+		sel, err := plan.ParseSelection(plan.SelectRules(names...).String())
+		if err != nil {
+			c.selErr = err
+			return
+		}
+		c.sel, c.selSet = sel, true
+	}
+}
+
 // NewLocalCluster creates an in-process cluster of n empty sites. Load data
 // with Load or LoadPartitions.
 func NewLocalCluster(n int, opts ...ClusterOption) (*Cluster, error) {
@@ -313,6 +365,9 @@ func NewLocalCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 		return nil, fmt.Errorf("skalla: cluster size %d", n)
 	}
 	cfg := applyOptions(opts)
+	if cfg.selErr != nil {
+		return nil, cfg.selErr
+	}
 	sites := make([]transport.Site, n)
 	loaders := make([]transport.Loader, n)
 	for i := 0; i < n; i++ {
@@ -336,7 +391,7 @@ func NewLocalCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	if cfg.traceTo != nil {
 		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
 	}
-	return &Cluster{coord: coord, sites: sites, loaders: loaders}, nil
+	return &Cluster{coord: coord, sites: sites, loaders: loaders, sel: cfg.sel}, nil
 }
 
 // Connect dials remote Skalla site servers (started with skalla-site or
@@ -346,7 +401,10 @@ func Connect(addrs []string, opts ...ClusterOption) (*Cluster, error) {
 		return nil, errors.New("skalla: no site addresses")
 	}
 	cfg := applyOptions(opts)
-	cl := &Cluster{}
+	if cfg.selErr != nil {
+		return nil, cfg.selErr
+	}
+	cl := &Cluster{sel: cfg.sel}
 	for _, a := range addrs {
 		c, err := transport.Dial(a)
 		if err != nil {
@@ -376,6 +434,9 @@ func applyOptions(opts []ClusterOption) *clusterConfig {
 	cfg := &clusterConfig{}
 	for _, o := range opts {
 		o(cfg)
+	}
+	if !cfg.selSet {
+		cfg.sel = plan.SelectAll()
 	}
 	return cfg
 }
@@ -411,6 +472,17 @@ func (c *Cluster) Execute(ctx context.Context, q Query, opts Options) (*Result, 
 	return c.coord.Execute(ctx, q, opts)
 }
 
+// ExecuteSelected evaluates a query under the cluster's configured plan mode
+// (WithPlanMode / WithRules; all rules when unconfigured).
+func (c *Cluster) ExecuteSelected(ctx context.Context, q Query) (*Result, error) {
+	return c.coord.ExecuteWith(ctx, q, c.sel)
+}
+
+// ExecuteWith evaluates a query under an explicit rule selection.
+func (c *Cluster) ExecuteWith(ctx context.Context, q Query, sel Selection) (*Result, error) {
+	return c.coord.ExecuteWith(ctx, q, sel)
+}
+
 // TableInfo describes one relation at one site.
 type TableInfo = engine.TableInfo
 
@@ -438,6 +510,21 @@ func (c *Cluster) Explain(ctx context.Context, q Query, opts Options) (string, e
 	return pl.Describe(), nil
 }
 
+// ExplainSelected is Explain under the cluster's configured plan mode.
+func (c *Cluster) ExplainSelected(ctx context.Context, q Query) (string, error) {
+	pl, err := c.coord.PlanWith(ctx, q, c.sel)
+	if err != nil {
+		return "", err
+	}
+	return pl.Describe(), nil
+}
+
+// PlanWith compiles (without executing) a plan under an explicit rule
+// selection, exposing the rule trace, cost estimate, and fingerprint.
+func (c *Cluster) PlanWith(ctx context.Context, q Query, sel Selection) (*Plan, error) {
+	return c.coord.PlanWith(ctx, q, sel)
+}
+
 // Close releases any network connections held by the cluster.
 func (c *Cluster) Close() error {
 	var first error
@@ -462,6 +549,9 @@ func NewTieredLocalCluster(leaves, relays int, opts ...ClusterOption) (*Cluster,
 		return nil, fmt.Errorf("skalla: tiered cluster with %d leaves behind %d relays", leaves, relays)
 	}
 	cfg := applyOptions(opts)
+	if cfg.selErr != nil {
+		return nil, cfg.selErr
+	}
 	leafSites := make([]transport.Site, leaves)
 	loaders := make([]transport.Loader, leaves)
 	for i := 0; i < leaves; i++ {
@@ -505,7 +595,7 @@ func NewTieredLocalCluster(leaves, relays int, opts ...ClusterOption) (*Cluster,
 	if cfg.traceTo != nil {
 		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
 	}
-	return &Cluster{coord: coord, sites: tier, loaders: loaders}, nil
+	return &Cluster{coord: coord, sites: tier, loaders: loaders, sel: cfg.sel}, nil
 }
 
 // NumLeafSites returns the number of data-holding sites (equal to NumSites

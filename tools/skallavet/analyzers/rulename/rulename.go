@@ -1,0 +1,111 @@
+// Package rulename enforces the Egil v2 planner's rule-naming contract:
+// every optimizer rule in skalla/internal/plan declares its name as a
+// kebab-case string literal, unique within the package. The name is not
+// cosmetic — it is the `rule` label on skalla_plan_rule_applied_total, the
+// token accepted by -plan-mode rules=..., and an input to the plan
+// fingerprint, so a duplicate or computed name silently corrupts metrics,
+// CLI selections, and fingerprint stability at once.
+//
+// A rule is any type whose name ends in "Rule" carrying a `Name() string`
+// method. Three patterns are flagged:
+//
+//  1. a Name method whose body is not a single `return "literal"` — names
+//     must be static so selections and fingerprints are decidable;
+//  2. a literal that is not kebab-case (^[a-z][a-z0-9]*(-[a-z0-9]+)*$);
+//  3. two rule types returning the same literal.
+package rulename
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+
+	"skalla/tools/skallavet/analysis"
+)
+
+// PlanPackage is the package under enforcement.
+const PlanPackage = "skalla/internal/plan"
+
+// kebab is the required shape of a rule name: lower-case alphanumeric words
+// joined by single dashes. It matches Prometheus label values and the
+// -plan-mode rules=... grammar.
+var kebab = regexp.MustCompile(`^[a-z][a-z0-9]*(-[a-z0-9]+)*$`)
+
+// Analyzer is the rulename rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "rulename",
+	Doc:  "planner rules must declare unique kebab-case string-literal names",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != PlanPackage {
+		return nil
+	}
+	seen := map[string]string{} // name literal → receiver type that claimed it
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Name" || fn.Recv == nil {
+				continue
+			}
+			recv := receiverTypeName(fn.Recv)
+			if !strings.HasSuffix(recv, "Rule") {
+				continue
+			}
+			lit, ok := singleStringReturn(fn)
+			if !ok {
+				pass.Reportf(fn.Pos(),
+					"rule %s: Name() must be a single `return \"<literal>\"` — computed names break -plan-mode selections and plan fingerprints", recv)
+				continue
+			}
+			name := strings.Trim(lit.Value, `"`)
+			if !kebab.MatchString(name) {
+				pass.Reportf(lit.Pos(),
+					"rule %s: name %q is not kebab-case (want %s) — it is the skalla_plan_rule_applied_total label and the rules= token", recv, name, kebab)
+			}
+			if prev, dup := seen[name]; dup {
+				pass.Reportf(lit.Pos(),
+					"rule %s: duplicate rule name %q (already claimed by %s) — selections and metrics could not tell them apart", recv, name, prev)
+				continue
+			}
+			seen[name] = recv
+		}
+	}
+	return nil
+}
+
+// receiverTypeName unwraps the receiver's base type identifier ("" when the
+// receiver is not a named type).
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// singleStringReturn matches a body of exactly `return "<literal>"`.
+func singleStringReturn(fn *ast.FuncDecl) (*ast.BasicLit, bool) {
+	if fn.Body == nil || len(fn.Body.List) != 1 {
+		return nil, false
+	}
+	ret, ok := fn.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil, false
+	}
+	lit, ok := ret.Results[0].(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return nil, false
+	}
+	return lit, true
+}

@@ -1,0 +1,16 @@
+package rulename_test
+
+import (
+	"testing"
+
+	"skalla/tools/skallavet/analyzers/rulename"
+	"skalla/tools/skallavet/internal/checktest"
+)
+
+func TestPlanPackage(t *testing.T) {
+	checktest.Run(t, rulename.Analyzer, "skalla/internal/plan")
+}
+
+func TestOtherPackageIgnored(t *testing.T) {
+	checktest.Run(t, rulename.Analyzer, "otherpkg")
+}

@@ -1,0 +1,6 @@
+// Fixture: outside skalla/internal/plan the analyzer stays silent.
+package otherpkg
+
+type noisyRule struct{}
+
+func (noisyRule) Name() string { return "Definitely Not Kebab" }

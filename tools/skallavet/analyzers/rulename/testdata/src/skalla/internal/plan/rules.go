@@ -1,0 +1,39 @@
+// Fixture: the planner package (import path matches the enforcement scope).
+package plan
+
+// goodRule: a well-formed rule name.
+type goodRule struct{}
+
+func (goodRule) Name() string { return "coalesce" }
+
+// multiWordRule: kebab-case with several words is fine.
+type multiWordRule struct{}
+
+func (multiWordRule) Name() string { return "group-reduce-coord" }
+
+// camelRule: not kebab-case.
+type camelRule struct{}
+
+func (camelRule) Name() string { return "SyncSkip" } // want `name "SyncSkip" is not kebab-case`
+
+// underscoreRule: snake_case is not kebab-case.
+type underscoreRule struct{}
+
+func (underscoreRule) Name() string { return "local_prefix" } // want `name "local_prefix" is not kebab-case`
+
+// dupRule: collides with goodRule's name.
+type dupRule struct{}
+
+func (dupRule) Name() string { return "coalesce" } // want `duplicate rule name "coalesce"`
+
+// computedRule: the name must be a literal, not an expression.
+type computedRule struct{}
+
+var prefix = "sync"
+
+func (computedRule) Name() string { return prefix + "-skip" } // want `Name\(\) must be a single`
+
+// helper is not a rule type (no Rule suffix): ignored even with a bad name.
+type helper struct{}
+
+func (helper) Name() string { return "Not Kebab" }

@@ -9,6 +9,7 @@ import (
 	"skalla/tools/skallavet/analyzers/blockpool"
 	"skalla/tools/skallavet/analyzers/ctxcall"
 	"skalla/tools/skallavet/analyzers/nostdlog"
+	"skalla/tools/skallavet/analyzers/rulename"
 	"skalla/tools/skallavet/analyzers/stringkey"
 	"skalla/tools/skallavet/analyzers/wirecompat"
 	"skalla/tools/skallavet/internal/vetdriver"
@@ -21,5 +22,6 @@ func main() {
 		wirecompat.Analyzer,
 		ctxcall.Analyzer,
 		nostdlog.Analyzer,
+		rulename.Analyzer,
 	)
 }
