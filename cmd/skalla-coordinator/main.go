@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		netFlag     = fs.String("net", "none", "network model for response-time reporting: none or lan")
 		maxRows     = fs.Int("max-rows", 20, "result rows to print")
 		statsJSON   = fs.String("stats-json", "", "also write the execution metrics as JSON to this file")
+		slowQuery   = fs.Duration("slow-query", 0, "log the full profile of queries slower than this (0 = off)")
 		trace       = fs.Bool("trace", false, "stream per-round execution progress while the query runs")
 		obsAddr     = fs.String("obs-addr", "", "observability listen address for /metrics, /healthz and /debug/pprof (empty = disabled)")
 		logLevel    = fs.String("log-level", "warn", "log level: debug, info, warn or error")
@@ -75,10 +76,11 @@ func run(args []string, out io.Writer) error {
 	if _, err := obs.SetupLogger("skalla-coordinator", *logLevel, *logFormat == "json", os.Stderr); err != nil {
 		return err
 	}
+	obs.RegisterBuildInfo()
 	health := obs.NewHealth()
 	health.Register("sites")
 	if *obsAddr != "" {
-		obsSrv, err := obs.ServeHTTP(*obsAddr, nil, health, nil)
+		obsSrv, err := obs.ServeHTTP(*obsAddr, nil, health, nil, nil)
 		if err != nil {
 			return err
 		}
@@ -131,6 +133,7 @@ func run(args []string, out io.Writer) error {
 		skalla.WithRowBlocking(*blockRows),
 		skalla.WithSiteRetry(retry),
 		skalla.WithWorkers(*workers),
+		skalla.WithSlowQuery(*slowQuery),
 	}
 	if *trace {
 		clusterOpts = append(clusterOpts, skalla.WithTrace(out))
@@ -138,17 +141,20 @@ func run(args []string, out io.Writer) error {
 	if *planMode != "" {
 		clusterOpts = append(clusterOpts, skalla.WithPlanMode(*planMode))
 	}
+	var cat *skalla.Catalog
 	if *data != "" {
 		m, err := manifest.Load(*data)
 		if err != nil {
 			return err
 		}
-		cat, err := m.Catalog(len(addrs))
+		cat, err = m.Catalog(len(addrs))
 		if err != nil {
 			return err
 		}
 		clusterOpts = append(clusterOpts, skalla.WithCatalog(cat))
 	}
+	// Gen is nil-safe: without -data the /healthz info reports generation 0.
+	health.SetInfo("catalog_generation", func() any { return cat.Gen() })
 	if *netFlag == "lan" {
 		clusterOpts = append(clusterOpts, skalla.WithNetModel(stats.DefaultLAN()))
 	}

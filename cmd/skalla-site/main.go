@@ -104,13 +104,14 @@ func start(args []string) (*siteProc, error) {
 		return nil, err
 	}
 	log := logger.With("site", *site)
+	obs.RegisterBuildInfo()
 
 	health := obs.NewHealth()
 	health.Register("partition")
 	health.Register("listener")
 	var obsSrv *obs.HTTPServer
 	if *obsAddr != "" {
-		obsSrv, err = obs.ServeHTTP(*obsAddr, nil, health, log)
+		obsSrv, err = obs.ServeHTTP(*obsAddr, nil, health, nil, log)
 		if err != nil {
 			return nil, err
 		}
@@ -125,6 +126,7 @@ func start(args []string) (*siteProc, error) {
 
 	es := engine.NewSite(*site)
 	es.SetWorkers(*workers)
+	health.SetInfo("tables", func() any { return len(es.Tables(context.Background())) })
 	if *data != "" {
 		m, err := manifest.Load(*data)
 		if err != nil {

@@ -18,6 +18,7 @@ import (
 	"skalla/internal/engine"
 	"skalla/internal/expr"
 	"skalla/internal/gmdj"
+	"skalla/internal/obs"
 	"skalla/internal/plan"
 	"skalla/internal/stats"
 	"skalla/internal/tpc"
@@ -141,6 +142,25 @@ type Row struct {
 	// Plan identifies the compiled plan the point was measured under:
 	// fingerprint, mode, applied rules, and the cost model's estimate.
 	Plan RowPlan
+	// Profile aggregates the site-side breakdowns the profiler shipped back
+	// with each call, so bench artifacts expose where site time went without
+	// a separate profiling run.
+	Profile RowProfile
+}
+
+// RowProfile is the query-wide aggregate of the per-call SiteBreakdowns on a
+// measured Row: summed site evaluation time and scan/segment/codec counters,
+// plus the widest parallel scan seen at any site.
+type RowProfile struct {
+	QueryID       string
+	SiteEval      time.Duration
+	RowsScanned   int64
+	SegCacheReads int64
+	SegDiskReads  int64
+	SegRowsLoaded int64
+	CodecBytes    int64
+	Blocks        int64
+	MaxWorkers    int
 }
 
 // RowPlan is the planner's identity record on a measured Row: which plan ran
@@ -244,7 +264,38 @@ func foldRow(res *core.Result, series string, x int) Row {
 			EstBytesDown: res.Plan.Estimate.BytesDown,
 			EstBytesUp:   res.Plan.Estimate.BytesUp,
 		},
+		Profile: foldProfile(res.Profile),
 	}
+}
+
+// foldProfile aggregates a query profile's site breakdowns into a RowProfile.
+// Failed (retried) attempts are skipped: their successor re-does the work, and
+// counting both would overstate site cost the same way double-counting their
+// bytes would overstate traffic.
+func foldProfile(p *obs.QueryProfile) RowProfile {
+	if p == nil {
+		return RowProfile{}
+	}
+	rp := RowProfile{QueryID: p.QueryID}
+	for i := range p.Rounds {
+		for _, c := range p.Rounds[i].Calls {
+			if c.Failed || c.Breakdown == nil {
+				continue
+			}
+			b := c.Breakdown
+			rp.SiteEval += time.Duration(b.EvalNS)
+			rp.RowsScanned += b.RowsScanned
+			rp.SegCacheReads += b.SegCacheReads
+			rp.SegDiskReads += b.SegDiskReads
+			rp.SegRowsLoaded += b.SegRowsLoaded
+			rp.CodecBytes += b.CodecBytes
+			rp.Blocks += b.Blocks
+			if b.Workers > rp.MaxWorkers {
+				rp.MaxWorkers = b.Workers
+			}
+		}
+	}
+	return rp
 }
 
 // SpeedUp runs one query/options pair over 1..maxSites participating sites

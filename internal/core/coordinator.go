@@ -33,6 +33,7 @@ type Coordinator struct {
 	tracer       Tracer
 	retry        RetryPolicy
 	mergeWorkers int
+	slowQuery    time.Duration
 }
 
 // New creates a coordinator. cat may be nil (no distribution knowledge); net
@@ -77,6 +78,9 @@ type Result struct {
 	Rel     *relation.Relation
 	Metrics *stats.Metrics
 	Plan    *plan.Plan
+	// Profile is the stitched per-round, per-site-call cost record of the
+	// evaluation (also retained in obs.Profiles for /debug/queries).
+	Profile *obs.QueryProfile
 }
 
 // schemaSource adapts site 0 into a gmdj.SchemaSource with caching, so
@@ -175,12 +179,20 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, pl *plan.Plan, src gmdj.S
 		qid = obs.NewQueryID()
 		ctx = obs.WithQueryID(ctx, qid)
 	}
-	span := obs.StartQuery(qid)
+	// The profile builder rides on the span's event stream; handing it to
+	// StartQuery (rather than AddObserver) lets it see EventQueryStart too.
+	pb := obs.NewProfileBuilder()
+	span := obs.StartQuery(qid, pb)
 	if c.tracer != nil {
 		span.AddObserver(tracerObserver{c.tracer})
 	}
 	res, err := c.executePlan(ctx, pl, src, span)
 	span.End(err)
+	prof := pb.Profile()
+	c.finishProfile(prof, pl, res)
+	if res != nil {
+		res.Profile = prof
+	}
 	return res, err
 }
 
@@ -252,10 +264,10 @@ func (c *Coordinator) broadcast(ctx context.Context, rs *obs.RoundSpan, f func(c
 		wg.Add(1)
 		go func(i int, s transport.Site) {
 			defer wg.Done()
-			err := c.withRetry(ctx, rs, i, func(actx context.Context) error {
+			err := c.withRetry(ctx, rs, i, func(actx context.Context, _ int) (stats.Call, error) {
 				rel, call, err := f(actx, i, s)
 				results[i] = siteResult{rel: rel, call: call, err: err}
-				return err
+				return call, err
 			})
 			results[i].err = err
 		}(i, s)
@@ -277,6 +289,7 @@ func (c *Coordinator) broadcast(ctx context.Context, rs *obs.RoundSpan, f func(c
 // into X_0.
 func (c *Coordinator) baseRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, span *obs.QuerySpan) error {
 	rs := span.StartRound("base", 0)
+	ctx = obs.WithRound(ctx, "base")
 	results, bErr := c.broadcast(ctx, rs, func(ctx context.Context, _ int, s transport.Site) (*relation.Relation, stats.Call, error) {
 		return s.EvalBase(ctx, pl.Query.Base)
 	})
@@ -316,6 +329,7 @@ func (c *Coordinator) baseRound(ctx context.Context, pl *plan.Plan, mg *merger, 
 // Prop. 2 / Cor. 1).
 func (c *Coordinator) localRound(ctx context.Context, pl *plan.Plan, mg *merger, metrics *stats.Metrics, span *obs.QuerySpan, upTo int, name string) error {
 	rs := span.StartRound(name, 0)
+	ctx = obs.WithRound(ctx, name)
 	req := engine.LocalRequest{Query: pl.Query, UpTo: upTo}
 	results, bErr := c.broadcast(ctx, rs, func(ctx context.Context, _ int, s transport.Site) (*relation.Relation, stats.Call, error) {
 		return s.EvalLocal(ctx, req)
@@ -369,6 +383,7 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 	op := pl.Query.Ops[k]
 	roundName := fmt.Sprintf("MD%d", k+1)
 	rs := span.StartRound(roundName, mg.X().Len())
+	ctx = obs.WithRound(ctx, roundName)
 	// A stable snapshot of X: fragments reference it while the live X is
 	// extended and mutated by the streaming merge.
 	snap := mg.Snapshot()
@@ -421,7 +436,7 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 				Guard:     pl.Guard,
 				BlockRows: c.blockRows,
 			}
-			errs[i] = c.withRetry(ctx, rs, i, func(actx context.Context) error {
+			errs[i] = c.withRetry(ctx, rs, i, func(actx context.Context, _ int) (stats.Call, error) {
 				st := mg.NewStage(k)
 				call, err := s.EvalOperatorStream(actx, req, func(block *relation.Relation) error {
 					// End a cancelled query's streams promptly instead of
@@ -437,14 +452,14 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 				calls[i] = call
 				if err != nil {
 					st.Discard()
-					return err
+					return call, err
 				}
 				select {
 				case stages <- st:
-					return nil
+					return call, nil
 				case <-ctx.Done():
 					st.Discard()
-					return ctx.Err()
+					return call, ctx.Err()
 				}
 			})
 		}(i, s)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"skalla/internal/obs"
+	"skalla/internal/stats"
 )
 
 // RetryPolicy makes the coordinator's per-site calls survive transient
@@ -97,20 +98,23 @@ func retryable(ctx context.Context, err error) bool {
 }
 
 // withRetry runs one site call under the coordinator's retry policy: each
-// attempt gets a per-call deadline (when configured), failed attempts are
-// recorded on the round span and the retries counter, and backoff sleeps
+// attempt gets a per-call deadline (when configured) and an attempt-stamped
+// context (the transport ships the attempt number to the site), failed
+// attempts are recorded — with whatever the transport measured before they
+// died — on the round span and the retries counter, and backoff sleeps
 // respect the parent context.
-func (c *Coordinator) withRetry(ctx context.Context, rs *obs.RoundSpan, site int, fn func(context.Context) error) error {
+func (c *Coordinator) withRetry(ctx context.Context, rs *obs.RoundSpan, site int, fn func(ctx context.Context, attempt int) (stats.Call, error)) error {
 	p := c.retry
 	if p.MaxAttempts < 1 {
 		p.MaxAttempts = 1
 	}
 	for attempt := 1; ; attempt++ {
-		actx, cancel := ctx, context.CancelFunc(func() {})
+		actx := obs.WithAttempt(ctx, attempt)
+		cancel := context.CancelFunc(func() {})
 		if p.CallTimeout > 0 {
-			actx, cancel = context.WithTimeout(ctx, p.CallTimeout)
+			actx, cancel = context.WithTimeout(actx, p.CallTimeout)
 		}
-		err := fn(actx)
+		call, err := fn(actx, attempt)
 		cancel()
 		if err == nil {
 			return nil
@@ -122,7 +126,7 @@ func (c *Coordinator) withRetry(ctx context.Context, rs *obs.RoundSpan, site int
 		if attempt >= p.MaxAttempts || !retryable(ctx, err) {
 			return err
 		}
-		rs.Retry(site, attempt, err)
+		rs.Retry(site, attempt, obsCall(call), err)
 		select {
 		case <-time.After(p.backoff(attempt)):
 		case <-ctx.Done():

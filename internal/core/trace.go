@@ -38,6 +38,10 @@ func obsCall(c stats.Call) obs.SiteCall {
 		RowsDown:  c.RowsDown,
 		RowsUp:    c.RowsUp,
 		Compute:   c.Compute,
+		Start:     c.Start,
+		Elapsed:   c.Elapsed,
+		Attempt:   c.Attempt,
+		Breakdown: c.Profile,
 	}
 }
 
@@ -50,6 +54,10 @@ func statsCall(c obs.SiteCall) stats.Call {
 		RowsDown:  c.RowsDown,
 		RowsUp:    c.RowsUp,
 		Compute:   c.Compute,
+		Start:     c.Start,
+		Elapsed:   c.Elapsed,
+		Attempt:   c.Attempt,
+		Profile:   c.Breakdown,
 	}
 }
 

@@ -213,12 +213,14 @@ func (s *Site) EvalBase(ctx context.Context, bq gmdj.BaseQuery) (*relation.Relat
 		return nil, err
 	}
 	obs.EngineEvals.With("base").Inc()
+	rec := obs.RecorderFrom(ctx)
+	rec.SetWorkers(1)
 	snap := s.snapshot()
 	detail, err := snap.DetailSource(bq.Detail)
 	if err != nil {
 		return nil, err
 	}
-	return gmdj.EvalBaseWorkers(bq, detail, snap.workers)
+	return gmdj.EvalBaseWorkers(bq, instrument(detail, rec), snap.workers)
 }
 
 // OperatorRequest asks a site to evaluate one MD operator over its local
@@ -271,6 +273,8 @@ func (s *Site) EvalOperatorBlocks(ctx context.Context, req OperatorRequest, emit
 		return err
 	}
 	obs.EngineEvals.With("operator").Inc()
+	rec := obs.RecorderFrom(ctx)
+	rec.SetWorkers(1)
 	if req.Base == nil {
 		return fmt.Errorf("engine: operator request without base relation")
 	}
@@ -280,7 +284,7 @@ func (s *Site) EvalOperatorBlocks(ctx context.Context, req OperatorRequest, emit
 		return err
 	}
 
-	acc, err := gmdj.AccumulateOperatorWorkers(req.Base, req.Op, detail, snap.useHash, snap.workers)
+	acc, err := gmdj.AccumulateOperatorWorkers(req.Base, req.Op, instrument(detail, rec), snap.useHash, snap.workers)
 	if err != nil {
 		return err
 	}
@@ -306,6 +310,7 @@ func (s *Site) EvalOperatorBlocks(ctx context.Context, req OperatorRequest, emit
 			return err
 		}
 		obs.EngineBlocks.Inc()
+		rec.AddBlocks(1)
 		if err := emit(block); err != nil {
 			return err
 		}
@@ -331,6 +336,7 @@ func (s *Site) EvalOperatorBlocks(ctx context.Context, req OperatorRequest, emit
 	}
 	if block.Len() > 0 || !emitted {
 		obs.EngineBlocks.Inc()
+		rec.AddBlocks(1)
 		return emit(block)
 	}
 	return nil
@@ -357,6 +363,8 @@ func (s *Site) EvalLocal(ctx context.Context, req LocalRequest) (*relation.Relat
 		return nil, err
 	}
 	obs.EngineEvals.With("local").Inc()
+	rec := obs.RecorderFrom(ctx)
+	rec.SetWorkers(1)
 	// One snapshot covers validation and every evaluation stage: a concurrent
 	// LoadSource cannot make the base query and a later operator see
 	// different generations of the same detail relation.
@@ -364,5 +372,9 @@ func (s *Site) EvalLocal(ctx context.Context, req LocalRequest) (*relation.Relat
 	if err := req.Query.Validate(snap); err != nil {
 		return nil, err
 	}
-	return gmdj.EvalPrefixXWorkers(req.Query, snap, req.UpTo, snap.useHash, snap.workers)
+	var ds gmdj.DataSource = snap
+	if rec != nil {
+		ds = recordedSnapshot{snapshot: snap, rec: rec}
+	}
+	return gmdj.EvalPrefixXWorkers(req.Query, ds, req.UpTo, snap.useHash, snap.workers)
 }

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+var (
+	buildInfo = Default.GaugeVec("skalla_build_info",
+		"Build and runtime identity of this process; the value is constant 1 and the labels carry the information.",
+		"version", "go_version", "os", "arch")
+	processStart = Default.FloatGauge("skalla_process_start_time_seconds",
+		"Unix time this process registered its build info (start of main), in seconds.")
+)
+
+// RegisterBuildInfo populates the build-info and process-start-time gauges.
+// Daemons call it once at startup; the module version comes from the
+// embedded build info ("(devel)" for plain source builds).
+func RegisterBuildInfo() {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	buildInfo.With(version, runtime.Version(), runtime.GOOS, runtime.GOARCH).Set(1)
+	processStart.Set(float64(time.Now().UnixNano()) / 1e9)
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -15,13 +17,19 @@ import (
 // Health tracks named readiness checks. A daemon registers its checks as
 // not-ready at startup (Register) and flips them as subsystems come up; the
 // /healthz endpoint reports 200 only when every registered check is ready.
+// Alongside checks, a daemon can expose informational values (SetInfo) that
+// render in the /healthz body without affecting readiness — the catalog
+// generation counter, for instance.
 type Health struct {
 	mu     sync.RWMutex
 	checks map[string]bool
+	infos  map[string]func() any
 }
 
 // NewHealth creates an empty health tracker (vacuously ready).
-func NewHealth() *Health { return &Health{checks: make(map[string]bool)} }
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]bool), infos: make(map[string]func() any)}
+}
 
 // Register adds a check in the not-ready state (no-op if it exists).
 func (h *Health) Register(name string) {
@@ -39,6 +47,15 @@ func (h *Health) Set(name string, ready bool) {
 	h.mu.Unlock()
 }
 
+// SetInfo registers an informational value rendered in the /healthz body
+// under "info". get is evaluated per request, so live counters (catalog
+// generation) stay current without re-registration.
+func (h *Health) SetInfo(name string, get func() any) {
+	h.mu.Lock()
+	h.infos[name] = get
+	h.mu.Unlock()
+}
+
 // Ready reports whether every registered check is ready, plus a snapshot of
 // the individual checks.
 func (h *Health) Ready() (bool, map[string]bool) {
@@ -53,42 +70,72 @@ func (h *Health) Ready() (bool, map[string]bool) {
 	return all, snap
 }
 
+// Info evaluates and returns the informational values.
+func (h *Health) Info() map[string]any {
+	h.mu.RLock()
+	gets := make(map[string]func() any, len(h.infos))
+	for n, g := range h.infos {
+		gets[n] = g
+	}
+	h.mu.RUnlock()
+	if len(gets) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(gets))
+	for n, g := range gets {
+		out[n] = g()
+	}
+	return out
+}
+
 // HTTPServer is the daemons' observability listener: /metrics (Prometheus
-// text), /healthz (liveness + readiness), and the net/http/pprof handlers
-// under /debug/pprof/.
+// text), /healthz (liveness + readiness), /debug/queries (retained query
+// profiles), and the net/http/pprof handlers under /debug/pprof/.
 type HTTPServer struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
 // ServeHTTP starts the observability endpoints on addr (":0" for ephemeral).
-// reg defaults to the Default registry and health to an empty (always-ready)
-// tracker; log may be nil.
-func ServeHTTP(addr string, reg *Registry, health *Health, log *slog.Logger) (*HTTPServer, error) {
+// reg defaults to the Default registry, health to an empty (always-ready)
+// tracker, and ring to the process-wide Profiles ring; log may be nil.
+func ServeHTTP(addr string, reg *Registry, health *Health, ring *ProfileRing, log *slog.Logger) (*HTTPServer, error) {
 	if reg == nil {
 		reg = Default
 	}
 	if health == nil {
 		health = NewHealth()
 	}
+	if ring == nil {
+		ring = Profiles
+	}
 	if log == nil {
 		log = Logger()
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Render into a buffer first: an exposition error must surface as a
+		// 500 status, and the status line can only be set before any body
+		// byte is written.
+		var buf bytes.Buffer
+		if err := reg.WriteText(&buf); err != nil {
+			log.Warn("metrics render failed", "err", err)
+			http.Error(w, "metrics render failed", http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := reg.WriteText(w); err != nil {
+		if _, err := w.Write(buf.Bytes()); err != nil {
 			log.Warn("metrics write failed", "err", err)
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		ready, checks := health.Ready()
-		w.Header().Set("Content-Type", "application/json")
 		status := http.StatusOK
+		state := "ok"
 		if !ready {
 			status = http.StatusServiceUnavailable
+			state = "unavailable"
 		}
-		w.WriteHeader(status)
 		names := make([]string, 0, len(checks))
 		for n := range checks {
 			names = append(names, n)
@@ -98,11 +145,49 @@ func ServeHTTP(addr string, reg *Registry, health *Health, log *slog.Logger) (*H
 		for _, n := range names {
 			ordered[n] = checks[n]
 		}
-		state := "ok"
-		if !ready {
-			state = "unavailable"
+		body := map[string]any{"status": state, "checks": ordered}
+		if info := health.Info(); info != nil {
+			body["info"] = info
 		}
-		json.NewEncoder(w).Encode(map[string]any{"status": state, "checks": ordered})
+		writeJSON(w, log, status, body)
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		profiles := ring.List()
+		out := make([]profileSummary, len(profiles))
+		for i, p := range profiles {
+			out[i] = summarize(p)
+		}
+		writeJSON(w, log, http.StatusOK, map[string]any{"queries": out})
+	})
+	mux.HandleFunc("/debug/queries/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/debug/queries/")
+		id, sub, _ := strings.Cut(rest, "/")
+		if id == "" {
+			http.NotFound(w, r)
+			return
+		}
+		p := ring.Get(id)
+		if p == nil {
+			http.Error(w, "no retained profile for query "+id, http.StatusNotFound)
+			return
+		}
+		switch sub {
+		case "":
+			writeJSON(w, log, http.StatusOK, p)
+		case "trace":
+			var buf bytes.Buffer
+			if err := WriteTraceEvents(&buf, p); err != nil {
+				log.Warn("trace export failed", "query", id, "err", err)
+				http.Error(w, "trace export failed", http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if _, err := w.Write(buf.Bytes()); err != nil {
+				log.Warn("trace write failed", "query", id, "err", err)
+			}
+		default:
+			http.NotFound(w, r)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -122,6 +207,51 @@ func ServeHTTP(addr string, reg *Registry, health *Health, log *slog.Logger) (*H
 	}()
 	log.Info("observability endpoints up", "addr", ln.Addr().String())
 	return s, nil
+}
+
+// writeJSON encodes v into a buffer first so encode failures become a clean
+// 500 (the status line must precede any body byte), then writes status and
+// body, logging — not swallowing — write errors.
+func writeJSON(w http.ResponseWriter, log *slog.Logger, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		log.Warn("response encode failed", "err", err)
+		http.Error(w, "response encode failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Warn("response write failed", "err", err)
+	}
+}
+
+// profileSummary is the /debug/queries list entry: enough to pick a query
+// without shipping every call.
+type profileSummary struct {
+	QueryID     string
+	Start       time.Time
+	Elapsed     time.Duration
+	Err         string `json:",omitempty"`
+	Fingerprint string
+	Mode        string
+	Rounds      int
+	BytesDown   int
+	BytesUp     int
+}
+
+func summarize(p *QueryProfile) profileSummary {
+	return profileSummary{
+		QueryID:     p.QueryID,
+		Start:       p.Start,
+		Elapsed:     p.Elapsed,
+		Err:         p.Err,
+		Fingerprint: p.Plan.Fingerprint,
+		Mode:        p.Plan.Mode,
+		Rounds:      len(p.Rounds),
+		BytesDown:   p.BytesDown(),
+		BytesUp:     p.BytesUp(),
+	}
 }
 
 // Addr returns the listener address.

@@ -26,7 +26,7 @@ func TestHealthzTransitions(t *testing.T) {
 	health := NewHealth()
 	health.Register("partition")
 	health.Register("listener")
-	srv, err := ServeHTTP("127.0.0.1:0", NewRegistry(), health, nil)
+	srv, err := ServeHTTP("127.0.0.1:0", NewRegistry(), health, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestHealthzTransitions(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("ep_total", "endpoint test").Add(9)
-	srv, err := ServeHTTP("127.0.0.1:0", reg, nil, nil)
+	srv, err := ServeHTTP("127.0.0.1:0", reg, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestPprofEndpoint(t *testing.T) {
-	srv, err := ServeHTTP("127.0.0.1:0", NewRegistry(), nil, nil)
+	srv, err := ServeHTTP("127.0.0.1:0", NewRegistry(), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestPprofEndpoint(t *testing.T) {
 }
 
 func TestHealthVacuouslyReady(t *testing.T) {
-	srv, err := ServeHTTP("127.0.0.1:0", NewRegistry(), nil, nil)
+	srv, err := ServeHTTP("127.0.0.1:0", NewRegistry(), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

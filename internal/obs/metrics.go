@@ -24,6 +24,8 @@ var (
 	CoordRetries = Default.CounterVec("skalla_coord_site_retries_total",
 		"Site-call attempts the coordinator retried after a transient failure, by site.",
 		"site")
+	CoordSlowQueries = Default.Counter("skalla_coord_slow_queries_total",
+		"Queries whose end-to-end elapsed time exceeded the -slow-query threshold (each logs its full profile).")
 
 	// Transport client side (internal/transport; the coordinator's view).
 	TransportCalls = Default.CounterVec("skalla_transport_calls_total",
@@ -95,6 +97,9 @@ var (
 		"rule")
 	PlanCostEstimate = Default.GaugeVec("skalla_plan_cost_estimate_bytes",
 		"Estimated communication of the most recently compiled plan, by direction (down = coordinator→site).",
+		"direction")
+	PlanCostErrorRatio = Default.FloatGaugeVec("skalla_plan_cost_error_ratio",
+		"Actual ÷ estimated communication bytes of the most recently finished query, by direction (1 = calibrated; unset while no estimated query has run).",
 		"direction")
 )
 

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// profileStripes is the lock-stripe count of a ProfileRing. Queries hash to
+// a stripe by ID, so concurrent coordinators publishing profiles contend on
+// different locks; 8 stripes cover any realistic coordinator parallelism.
+const profileStripes = 8
+
+// DefaultProfileCapacity is the retention of the process-wide Profiles ring.
+const DefaultProfileCapacity = 64
+
+// Profiles is the process-wide profile ring the /debug/queries endpoints
+// serve. Coordinators publish every finished query's profile here.
+var Profiles = NewProfileRing(DefaultProfileCapacity)
+
+// ProfileRing retains the last N query profiles in a lock-striped ring
+// buffer: each stripe is an independent fixed-size ring guarded by its own
+// mutex, so publication never serializes queries on one lock and retention
+// stays O(capacity) regardless of query volume.
+type ProfileRing struct {
+	stripes [profileStripes]profileStripe
+}
+
+type profileStripe struct {
+	mu   sync.Mutex
+	buf  []*QueryProfile
+	next int // next slot to overwrite
+	seq  uint64
+}
+
+// NewProfileRing creates a ring retaining at least capacity profiles
+// (rounded up so every stripe holds the same number of slots).
+func NewProfileRing(capacity int) *ProfileRing {
+	if capacity < profileStripes {
+		capacity = profileStripes
+	}
+	per := (capacity + profileStripes - 1) / profileStripes
+	r := &ProfileRing{}
+	for i := range r.stripes {
+		r.stripes[i].buf = make([]*QueryProfile, per)
+	}
+	return r
+}
+
+// stripeFor hashes a query ID to its stripe (FNV-1a, inlined to keep obs
+// dependency-light).
+func (r *ProfileRing) stripeFor(id string) *profileStripe {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return &r.stripes[h%profileStripes]
+}
+
+// Add publishes a profile, evicting the stripe's oldest entry when full.
+func (r *ProfileRing) Add(p *QueryProfile) {
+	if p == nil || p.QueryID == "" {
+		return
+	}
+	s := r.stripeFor(p.QueryID)
+	s.mu.Lock()
+	s.buf[s.next] = p
+	s.next = (s.next + 1) % len(s.buf)
+	s.seq++
+	s.mu.Unlock()
+}
+
+// Get returns the retained profile for a query ID (nil when evicted or never
+// published). Only the owning stripe is locked.
+func (r *ProfileRing) Get(id string) *QueryProfile {
+	s := r.stripeFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Newest-first so a re-used ID resolves to the latest run.
+	for i := 1; i <= len(s.buf); i++ {
+		p := s.buf[(s.next-i+len(s.buf))%len(s.buf)]
+		if p != nil && p.QueryID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// List returns every retained profile, newest start time first.
+func (r *ProfileRing) List() []*QueryProfile {
+	var out []*QueryProfile
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		for _, p := range s.buf {
+			if p != nil {
+				out = append(out, p)
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ringProfile(id string, start time.Time) *QueryProfile {
+	return &QueryProfile{QueryID: id, Start: start, Elapsed: time.Millisecond}
+}
+
+func TestProfileRingGetAndList(t *testing.T) {
+	r := NewProfileRing(16)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		r.Add(ringProfile(fmt.Sprintf("q-%d", i), base.Add(time.Duration(i)*time.Second)))
+	}
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("q-%d", i)
+		p := r.Get(id)
+		if p == nil || p.QueryID != id {
+			t.Fatalf("Get(%s) = %v", id, p)
+		}
+	}
+	if r.Get("missing") != nil {
+		t.Error("Get(missing) returned a profile")
+	}
+	list := r.List()
+	if len(list) != 10 {
+		t.Fatalf("List() returned %d profiles, want 10", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i].Start.After(list[i-1].Start) {
+			t.Fatalf("List() not newest-first at %d: %v after %v", i, list[i].Start, list[i-1].Start)
+		}
+	}
+	// nil and anonymous profiles are not retained.
+	r.Add(nil)
+	r.Add(&QueryProfile{})
+	if got := len(r.List()); got != 10 {
+		t.Errorf("List() = %d after nil/empty adds, want 10", got)
+	}
+}
+
+func TestProfileRingEvictsOldest(t *testing.T) {
+	r := NewProfileRing(profileStripes) // one slot per stripe
+	base := time.Now()
+	// Two profiles on the same stripe: the second evicts the first.
+	a, b := ringProfile("dup", base), ringProfile("dup", base.Add(time.Second))
+	r.Add(a)
+	r.Add(b)
+	got := r.Get("dup")
+	if got != b {
+		t.Errorf("Get after eviction returned the older profile")
+	}
+}
+
+func TestProfileRingReusedIDResolvesNewest(t *testing.T) {
+	r := NewProfileRing(64)
+	base := time.Now()
+	r.Add(ringProfile("again", base))
+	newest := ringProfile("again", base.Add(time.Minute))
+	r.Add(newest)
+	if got := r.Get("again"); got != newest {
+		t.Errorf("Get(again) = %+v, want the newest publication", got)
+	}
+}
+
+// TestProfileRingConcurrent hammers one ring from concurrent publishers and
+// readers; run under -race it proves the stripe locking is sound.
+func TestProfileRingConcurrent(t *testing.T) {
+	r := NewProfileRing(DefaultProfileCapacity)
+	base := time.Now()
+	const writers, perWriter, readers = 8, 200, 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Add(ringProfile(fmt.Sprintf("w%d-%d", w, i), base.Add(time.Duration(i))))
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.List()
+				r.Get(fmt.Sprintf("w%d-%d", g, i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.List()); got == 0 || got > DefaultProfileCapacity {
+		t.Errorf("retained %d profiles, want 1..%d", got, DefaultProfileCapacity)
+	}
+}

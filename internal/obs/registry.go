@@ -59,6 +59,19 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is an atomic float64-valued gauge (stored as bit patterns, so
+// Set/Value never lock). Ratios and Unix timestamps need it; integral
+// quantities should prefer Gauge.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Histogram is a fixed-bucket histogram: observations land in the first
 // bucket whose upper bound is >= the value (cumulative rendering happens at
 // exposition time, matching the Prometheus le convention). Sum and max are
@@ -180,6 +193,7 @@ type metricKind uint8
 const (
 	kindCounter metricKind = iota
 	kindGauge
+	kindFloatGauge
 	kindHistogram
 )
 
@@ -187,7 +201,7 @@ func (k metricKind) String() string {
 	switch k {
 	case kindCounter:
 		return "counter"
-	case kindGauge:
+	case kindGauge, kindFloatGauge:
 		return "gauge"
 	default:
 		return "histogram"
@@ -241,6 +255,8 @@ func (f *family) newMetric() any {
 		return &Counter{}
 	case kindGauge:
 		return &Gauge{}
+	case kindFloatGauge:
+		return &FloatGauge{}
 	default:
 		return newHistogram(f.bounds)
 	}
@@ -258,6 +274,12 @@ type GaugeVec struct{ f *family }
 
 // With returns the gauge for the given label values.
 func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
+
+// FloatGaugeVec is a family of float gauges distinguished by label values.
+type FloatGaugeVec struct{ f *family }
+
+// With returns the float gauge for the given label values.
+func (v *FloatGaugeVec) With(values ...string) *FloatGauge { return v.f.child(values).(*FloatGauge) }
 
 // HistogramVec is a family of histograms distinguished by label values.
 type HistogramVec struct{ f *family }
@@ -316,6 +338,16 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // GaugeVec registers (or fetches) a labeled gauge family.
 func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 	return &GaugeVec{r.register(name, help, kindGauge, labels, nil)}
+}
+
+// FloatGauge registers (or fetches) an unlabeled float gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	return r.register(name, help, kindFloatGauge, nil, nil).single.(*FloatGauge)
+}
+
+// FloatGaugeVec registers (or fetches) a labeled float gauge family.
+func (r *Registry) FloatGaugeVec(name, help string, labels ...string) *FloatGaugeVec {
+	return &FloatGaugeVec{r.register(name, help, kindFloatGauge, labels, nil)}
 }
 
 // Histogram registers (or fetches) an unlabeled histogram with the given
@@ -412,6 +444,8 @@ func writeSeries(b *strings.Builder, f *family, labels string, m any) {
 		fmt.Fprintf(b, "%s%s %d\n", f.name, labels, mm.Value())
 	case *Gauge:
 		fmt.Fprintf(b, "%s%s %d\n", f.name, labels, mm.Value())
+	case *FloatGauge:
+		fmt.Fprintf(b, "%s%s %s\n", f.name, labels, formatFloat(mm.Value()))
 	case *Histogram:
 		cum := int64(0)
 		for i, bound := range mm.bounds {

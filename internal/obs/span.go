@@ -25,6 +25,16 @@ type SiteCall struct {
 	RowsDown  int
 	RowsUp    int
 	Compute   time.Duration
+	// Start/Elapsed are the coordinator-observed wall-clock envelope of the
+	// exchange, measured by the transport; Attempt is the 1-based retry
+	// attempt that produced it. Zero values mean the transport predates the
+	// profiler (the line format ignores them).
+	Start   time.Time
+	Elapsed time.Duration
+	Attempt int
+	// Breakdown is the site-side cost breakdown shipped back in the wire
+	// response (nil from sites that do not report one).
+	Breakdown *SiteBreakdown
 }
 
 // EventKind discriminates span events.
@@ -177,12 +187,15 @@ func (r *RoundSpan) Call(c SiteCall) {
 // Retry records one failed site-call attempt that the coordinator will retry:
 // the retry counter increments, a warn line is logged, and observers receive
 // EventSiteRetry (so traces show each attempt, not just the final outcome).
-func (r *RoundSpan) Retry(site, attempt int, err error) {
+// c carries whatever the transport measured before the attempt failed (the
+// zero SiteCall when it failed before any measurement).
+func (r *RoundSpan) Retry(site, attempt int, c SiteCall, err error) {
 	CoordRetries.With(strconv.Itoa(site)).Inc()
 	Logger().Warn("site call retry", "query", r.q.id, "round", r.name,
 		"site", site, "attempt", attempt, "err", err)
+	c.Site, c.Attempt = site, attempt
 	r.q.emit(Event{Kind: EventSiteRetry, QueryID: r.q.id, Round: r.name,
-		Site: site, Attempt: attempt, Err: err.Error()})
+		Site: site, Attempt: attempt, Call: c, Err: err.Error()})
 }
 
 // ObserveMerge records one coordinator synchronization step (an H-block

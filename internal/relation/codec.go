@@ -63,11 +63,17 @@ type Encoder struct {
 	schema    Schema
 	hasSchema bool
 	body      []byte
+	bytes     int64
 	lenBuf    [binary.MaxVarintLen64]byte
 }
 
 // NewEncoder creates an encoder writing to w.
 func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Bytes returns the total bytes this encoder has written (frame headers
+// included) — the per-stream counterpart of the process-wide
+// CodecEncodeBytes counter, used for per-query codec accounting.
+func (e *Encoder) Bytes() int64 { return e.bytes }
 
 // Encode writes one relation frame.
 func (e *Encoder) Encode(r *Relation) error {
@@ -94,6 +100,7 @@ func (e *Encoder) Encode(r *Relation) error {
 	if _, err := e.w.Write(body); err != nil {
 		return err
 	}
+	e.bytes += int64(n + len(body))
 	obs.CodecEncodeBytes.Add(int64(n + len(body)))
 	obs.CodecFrames.With("encode").Inc()
 	return nil

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"skalla/internal/obs"
 )
 
 // NetModel is a deterministic LAN cost model: each message pays a fixed
@@ -44,6 +46,15 @@ type Call struct {
 	RowsDown  int // base-structure rows shipped to the site
 	RowsUp    int // sub-aggregate rows returned
 	Compute   time.Duration
+	// Start and Elapsed are the coordinator-observed wall-clock envelope of
+	// the exchange, stamped by the transport; Attempt is the 1-based retry
+	// attempt number from the call context.
+	Start   time.Time
+	Elapsed time.Duration
+	Attempt int
+	// Profile is the site-side cost breakdown returned in the response's
+	// trailing Profile field (nil from pre-profiler peers).
+	Profile *obs.SiteBreakdown
 }
 
 // RoundStat aggregates one evaluation round (one local-processing-then-

@@ -218,13 +218,15 @@ func (t *Table) writeManifestLocked() error {
 // Scan implements the RowSource contract: it streams every row through fn in
 // segment order, decoding one segment at a time (with a small LRU of decoded
 // segments for re-scans). fn errors abort the scan.
-func (t *Table) Scan(fn func(relation.Tuple) error) error {
+func (t *Table) Scan(fn func(relation.Tuple) error) error { return t.scanWith(nil, fn) }
+
+func (t *Table) scanWith(rec *obs.SiteRecorder, fn func(relation.Tuple) error) error {
 	t.mu.Lock()
 	segs := append([]segmentMeta{}, t.segments...)
 	buffered := append([]relation.Tuple{}, t.buf...)
 	t.mu.Unlock()
 	for i, seg := range segs {
-		rows, err := t.loadSegment(i, seg)
+		rows, err := t.loadSegment(rec, i, seg)
 		if err != nil {
 			return err
 		}
@@ -247,7 +249,9 @@ func (t *Table) Scan(fn func(relation.Tuple) error) error {
 // the concatenation of the shard scans is exactly one full Scan (sealed
 // segments in order, then the buffered tail). Returns nil when the table has
 // too few units to shard.
-func (t *Table) Split(n int) []gmdj.RowSource {
+func (t *Table) Split(n int) []gmdj.RowSource { return t.splitWith(nil, n) }
+
+func (t *Table) splitWith(rec *obs.SiteRecorder, n int) []gmdj.RowSource {
 	t.mu.Lock()
 	segs := append([]segmentMeta{}, t.segments...)
 	buffered := append([]relation.Tuple{}, t.buf...)
@@ -273,7 +277,7 @@ func (t *Table) Split(n int) []gmdj.RowSource {
 	next := 0 // next unassigned segment ordinal
 	done := 0 // rows assigned so far
 	for w := 0; w < n; w++ {
-		span := tableSpan{t: t, first: next}
+		span := tableSpan{t: t, first: next, rec: rec}
 		// Fill to this shard's proportional row boundary, but never take a
 		// unit that a remaining shard needs to stay non-empty.
 		bound := total * (w + 1) / n
@@ -312,6 +316,7 @@ type tableSpan struct {
 	first int // ordinal of segs[0] in the parent table
 	buf   []relation.Tuple
 	rows  int
+	rec   *obs.SiteRecorder
 }
 
 // Schema implements the RowSource contract.
@@ -323,7 +328,7 @@ func (s tableSpan) Len() int { return s.rows }
 // Scan implements the RowSource contract over the span's segments.
 func (s tableSpan) Scan(fn func(relation.Tuple) error) error {
 	for i, seg := range s.segs {
-		rows, err := s.t.loadSegment(s.first+i, seg)
+		rows, err := s.t.loadSegment(s.rec, s.first+i, seg)
 		if err != nil {
 			return err
 		}
@@ -354,9 +359,10 @@ func (t *Table) Materialize() (*relation.Relation, error) {
 	return out, nil
 }
 
-func (t *Table) loadSegment(ord int, seg segmentMeta) ([]relation.Tuple, error) {
+func (t *Table) loadSegment(rec *obs.SiteRecorder, ord int, seg segmentMeta) ([]relation.Tuple, error) {
 	if rows, ok := t.cache.get(ord); ok {
 		obs.StoreSegmentReads.With("cache").Inc()
+		rec.AddSegRead(false, 0)
 		return rows, nil
 	}
 	obs.StoreSegmentReads.With("disk").Inc()
@@ -386,9 +392,40 @@ func (t *Table) loadSegment(ord int, seg segmentMeta) ([]relation.Tuple, error) 
 		return nil, fmt.Errorf("store: segment %s has %d rows, manifest says %d", seg.File, len(rows), seg.Rows)
 	}
 	obs.StoreSegmentRows.Add(int64(len(rows)))
+	rec.AddSegRead(true, int64(len(rows)))
 	t.cache.put(ord, rows)
 	return rows, nil
 }
+
+// Recorded returns a view of the table that charges segment reads to rec in
+// addition to the process-wide counters. The engine wraps detail sources this
+// way per request, so /debug/queries profiles carry per-query segment I/O;
+// the underlying table (and its segment cache) is shared as usual.
+func (t *Table) Recorded(rec *obs.SiteRecorder) gmdj.RowSource {
+	if rec == nil {
+		return t
+	}
+	return recordedTable{t: t, rec: rec}
+}
+
+// recordedTable binds a Table to one request's recorder.
+type recordedTable struct {
+	t   *Table
+	rec *obs.SiteRecorder
+}
+
+// Schema implements the RowSource contract.
+func (r recordedTable) Schema() relation.Schema { return r.t.schema }
+
+// Len implements the RowSource contract.
+func (r recordedTable) Len() int { return r.t.Len() }
+
+// Scan implements the RowSource contract, charging segment reads to the
+// recorder.
+func (r recordedTable) Scan(fn func(relation.Tuple) error) error { return r.t.scanWith(r.rec, fn) }
+
+// Split implements gmdj.SplittableSource; every shard inherits the recorder.
+func (r recordedTable) Split(n int) []gmdj.RowSource { return r.t.splitWith(r.rec, n) }
 
 // segmentCache is a tiny LRU of decoded segments, keyed by segment ordinal:
 // scans hit it once per segment per pass, and integer keys keep those lookups

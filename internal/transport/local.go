@@ -56,7 +56,8 @@ func (l *LocalSite) roundTrip(ctx context.Context, req *Request) (*Response, sta
 	if err := ctx.Err(); err != nil {
 		return nil, stats.Call{}, err
 	}
-	req.QueryID = obs.QueryIDFrom(ctx)
+	attempt := stampTraceContext(ctx, req)
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.downEnc.Encode(req); err != nil {
@@ -77,6 +78,7 @@ func (l *LocalSite) roundTrip(ctx context.Context, req *Request) (*Response, sta
 		return nil, stats.Call{}, fmt.Errorf("transport: decode response: %w", err)
 	}
 	call := callFromSizes(l.site.ID(), req, &decResp, down, up)
+	call.Start, call.Elapsed, call.Attempt = start, time.Since(start), attempt
 	recordCall(call, req.Kind, req.QueryID)
 	if decResp.Err != "" {
 		return nil, call, errors.New(decResp.Err)
@@ -108,7 +110,9 @@ func (l *LocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorR
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	wireReq := &Request{Kind: KindOperator, QueryID: obs.QueryIDFrom(ctx), Operator: &req}
+	wallStart := time.Now()
+	wireReq := &Request{Kind: KindOperator, Operator: &req}
+	attempt := stampTraceContext(ctx, wireReq)
 	if err := l.downEnc.Encode(wireReq); err != nil {
 		return stats.Call{}, fmt.Errorf("transport: encode request: %w", err)
 	}
@@ -116,14 +120,18 @@ func (l *LocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorR
 		Site:      l.site.ID(),
 		BytesDown: l.downBuf.Len(),
 		RowsDown:  reqRows(wireReq),
+		Start:     wallStart,
+		Attempt:   attempt,
 	}
 	var decReq Request
 	if err := l.downDec.Decode(&decReq); err != nil {
 		return call, fmt.Errorf("transport: decode request: %w", err)
 	}
 	// The serving end of the emulated connection: count the request like the
-	// TCP server's stream path does.
+	// TCP server's stream path does, recorder included.
 	obs.ServerRequests.With("operator").Inc()
+	rec := obs.NewSiteRecorder()
+	ctx = obs.WithRecorder(ctx, rec)
 	// Fresh stream codecs per request: the schema is shipped on the first
 	// block of the stream and cached for the rest.
 	enc := relation.NewEncoder(&l.upBuf)
@@ -136,6 +144,7 @@ func (l *LocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorR
 		}
 		// +1 mirrors the TCP stream's per-frame block marker byte.
 		call.BytesUp += l.upBuf.Len() + 1
+		rec.AddCodecBytes(1)
 		decBlock, err := dec.Decode()
 		if err != nil {
 			return err
@@ -144,11 +153,15 @@ func (l *LocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorR
 		return sink(decBlock)
 	})
 	call.Compute = time.Since(start)
+	rec.AddCodecBytes(enc.Bytes())
+	rec.SetEval(call.Compute)
+	call.Elapsed = time.Since(wallStart)
 	if evalErr != nil {
 		return call, evalErr
 	}
 	// Terminal frame, as the network transport would send.
-	if err := l.upEnc.Encode(&Response{ComputeNS: call.Compute.Nanoseconds()}); err != nil {
+	b := rec.Snapshot()
+	if err := l.upEnc.Encode(&Response{ComputeNS: call.Compute.Nanoseconds(), Profile: &b}); err != nil {
 		return call, err
 	}
 	call.BytesUp += l.upBuf.Len() + 1
@@ -156,6 +169,8 @@ func (l *LocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorR
 	if err := l.upDec.Decode(&term); err != nil {
 		return call, err
 	}
+	call.Profile = term.Profile
+	call.Elapsed = time.Since(wallStart)
 	recordCall(call, KindOperator, wireReq.QueryID)
 	return call, nil
 }
@@ -201,8 +216,11 @@ func (f *FastLocalSite) call(ctx context.Context, req *Request) (*Response, stat
 	if err := ctx.Err(); err != nil {
 		return nil, stats.Call{}, err
 	}
+	attempt := stampTraceContext(ctx, req)
+	start := time.Now()
 	resp := dispatch(ctx, f.site, req)
 	call := callFromSizes(f.site.ID(), req, resp, 0, 0)
+	call.Start, call.Elapsed, call.Attempt = start, time.Since(start), attempt
 	if resp.Err != "" {
 		return nil, call, errors.New(resp.Err)
 	}
@@ -232,13 +250,20 @@ func (f *FastLocalSite) EvalOperatorStream(ctx context.Context, req engine.Opera
 	if err := ctx.Err(); err != nil {
 		return stats.Call{}, err
 	}
-	call := stats.Call{Site: f.site.ID(), RowsDown: baseRows(req)}
+	rec := obs.NewSiteRecorder()
+	ctx = obs.WithRecorder(ctx, rec)
+	call := stats.Call{Site: f.site.ID(), RowsDown: baseRows(req), Attempt: obs.AttemptFrom(ctx)}
 	start := time.Now()
+	call.Start = start
 	err := f.site.EvalOperatorBlocks(ctx, req, func(block *relation.Relation) error {
 		call.RowsUp += block.Len()
 		return sink(block)
 	})
 	call.Compute = time.Since(start)
+	call.Elapsed = call.Compute
+	rec.SetEval(call.Compute)
+	b := rec.Snapshot()
+	call.Profile = &b
 	return call, err
 }
 

@@ -180,6 +180,8 @@ func (s *Server) handle(rawConn net.Conn) {
 // original write error instead of failing (and logging) twice.
 func (s *Server) streamOperator(ctx context.Context, conn net.Conn, enc *gob.Encoder, req *Request) error {
 	obs.ServerRequests.With(kindName(KindOperator)).Inc()
+	rec := obs.NewSiteRecorder()
+	ctx = obs.WithRecorder(ctx, rec)
 	start := time.Now()
 	var evalErr error
 	connBroken := false
@@ -197,8 +199,11 @@ func (s *Server) streamOperator(ctx context.Context, conn net.Conn, enc *gob.Enc
 				connBroken = true
 				return err
 			}
+			// The marker byte travels with every block frame.
+			rec.AddCodecBytes(1)
 			return nil
 		})
+		rec.AddCodecBytes(blockEnc.Bytes())
 	}
 	if connBroken {
 		return evalErr
@@ -206,7 +211,9 @@ func (s *Server) streamOperator(ctx context.Context, conn net.Conn, enc *gob.Enc
 	if _, err := conn.Write([]byte{opStreamEnd}); err != nil {
 		return err
 	}
-	term := &Response{SiteID: s.site.ID(), ComputeNS: time.Since(start).Nanoseconds()}
+	rec.SetEval(time.Since(start))
+	b := rec.Snapshot()
+	term := &Response{SiteID: s.site.ID(), ComputeNS: time.Since(start).Nanoseconds(), Profile: &b}
 	if evalErr != nil {
 		term.Err = evalErr.Error()
 		s.log.Debug("operator eval failed", "query", req.QueryID, "err", evalErr)
@@ -373,7 +380,7 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, stats.Call, error) {
-	req.QueryID = obs.QueryIDFrom(ctx)
+	attempt := stampTraceContext(ctx, req)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
@@ -386,6 +393,7 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, stats.
 		_ = c.conn.SetDeadline(dl)
 		defer c.conn.SetDeadline(time.Time{})
 	}
+	start := time.Now()
 	r0, w0 := c.conn.read, c.conn.written
 	if err := c.enc.Encode(req); err != nil {
 		c.poisonLocked()
@@ -397,6 +405,7 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, stats.
 		return nil, stats.Call{}, fmt.Errorf("transport: receive: %w", err)
 	}
 	call := callFromSizes(c.id, req, &resp, int(c.conn.written-w0), int(c.conn.read-r0))
+	call.Start, call.Elapsed, call.Attempt = start, time.Since(start), attempt
 	recordCall(call, req.Kind, req.QueryID)
 	if resp.Err != "" {
 		return nil, call, errors.New(resp.Err)
@@ -435,13 +444,15 @@ func (c *Client) EvalOperatorStream(ctx context.Context, req engine.OperatorRequ
 		_ = c.conn.SetDeadline(dl)
 		defer c.conn.SetDeadline(time.Time{})
 	}
+	start := time.Now()
 	r0, w0 := c.conn.read, c.conn.written
-	wireReq := &Request{Kind: KindOperator, QueryID: obs.QueryIDFrom(ctx), Operator: &req}
+	wireReq := &Request{Kind: KindOperator, Operator: &req}
+	attempt := stampTraceContext(ctx, wireReq)
 	if err := c.enc.Encode(wireReq); err != nil {
 		c.poisonLocked()
 		return stats.Call{}, fmt.Errorf("transport: send: %w", err)
 	}
-	call := stats.Call{Site: c.id, RowsDown: reqRows(wireReq)}
+	call := stats.Call{Site: c.id, RowsDown: reqRows(wireReq), Start: start, Attempt: attempt}
 	blockDec := relation.NewDecoder(c.br)
 	blockDec.SetPool(&c.pool)
 	var sinkErr error
@@ -473,6 +484,8 @@ func (c *Client) EvalOperatorStream(ctx context.Context, req engine.OperatorRequ
 			call.Compute = time.Duration(resp.ComputeNS)
 			call.BytesDown = int(c.conn.written - w0)
 			call.BytesUp = int(c.conn.read - r0)
+			call.Elapsed = time.Since(start)
+			call.Profile = resp.Profile
 			recordCall(call, KindOperator, wireReq.QueryID)
 			if resp.Err != "" {
 				return call, errors.New(resp.Err)

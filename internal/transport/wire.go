@@ -46,6 +46,11 @@ type Request struct {
 	Schema   string
 	LoadName string
 	LoadRel  *relation.Relation
+	// Round and Attempt extend the trace context: the coordinator round that
+	// issued the call and the 1-based retry attempt. Appended fields — gob
+	// tolerates them missing in either direction, so old peers interoperate.
+	Round   string
+	Attempt int
 }
 
 // Response is the wire response envelope. Operator evaluations may stream:
@@ -59,6 +64,9 @@ type Response struct {
 	SiteID    int
 	ComputeNS int64
 	More      bool
+	// Profile is the site-side cost breakdown of this request (nil from
+	// peers built before the profiler). Appended field — see Request.
+	Profile *obs.SiteBreakdown
 }
 
 // Backend is what a transport endpoint serves: the evaluation surface of a
@@ -96,9 +104,12 @@ func collectBlocks(ctx context.Context, b Backend, req engine.OperatorRequest) (
 	return h, nil
 }
 
-// dispatch executes a request against a backend, measuring compute time.
+// dispatch executes a request against a backend, measuring compute time and
+// collecting the site-side breakdown into the response's Profile.
 func dispatch(ctx context.Context, site Backend, req *Request) *Response {
 	obs.ServerRequests.With(kindName(req.Kind)).Inc()
+	rec := obs.NewSiteRecorder()
+	ctx = obs.WithRecorder(ctx, rec)
 	start := time.Now()
 	resp := &Response{SiteID: site.ID()}
 	var err error
@@ -133,6 +144,9 @@ func dispatch(ctx context.Context, site Backend, req *Request) *Response {
 		err = fmt.Errorf("transport: unknown request kind %d", req.Kind)
 	}
 	resp.ComputeNS = time.Since(start).Nanoseconds()
+	rec.SetEval(time.Since(start))
+	b := rec.Snapshot()
+	resp.Profile = &b
 	if err != nil {
 		resp.Err = err.Error()
 		resp.Rel = nil
@@ -156,7 +170,8 @@ func respRows(resp *Response) int {
 	return 0
 }
 
-// callFromSizes assembles a stats.Call from measured message sizes.
+// callFromSizes assembles a stats.Call from measured message sizes, carrying
+// over the site-side breakdown from the response.
 func callFromSizes(site int, req *Request, resp *Response, down, up int) stats.Call {
 	return stats.Call{
 		Site:      site,
@@ -165,7 +180,18 @@ func callFromSizes(site int, req *Request, resp *Response, down, up int) stats.C
 		RowsDown:  reqRows(req),
 		RowsUp:    respRows(resp),
 		Compute:   time.Duration(resp.ComputeNS),
+		Profile:   resp.Profile,
 	}
+}
+
+// stampTraceContext copies the context's trace fields (query ID, round,
+// attempt) into the wire request, and returns the attempt for the client's
+// own call record.
+func stampTraceContext(ctx context.Context, req *Request) int {
+	req.QueryID = obs.QueryIDFrom(ctx)
+	req.Round = obs.RoundFrom(ctx)
+	req.Attempt = obs.AttemptFrom(ctx)
+	return req.Attempt
 }
 
 // kindName names a request kind for metric labels and logs.

@@ -49,7 +49,7 @@ func TestWireSchemaGolden(t *testing.T) {
 			t.Fatal(err)
 		}
 		prev, err := os.ReadFile(wireSchemaGolden)
-		if err == nil && !bytes.HasPrefix(stripComments(got), stripComments(prev)) {
+		if err == nil && !appendOnly(got, prev) {
 			t.Fatalf("refusing to update: current schema is not an append-only extension of the committed fingerprint\n-- committed --\n%s\n-- current --\n%s", prev, got)
 		}
 		if err := os.WriteFile(wireSchemaGolden, got, 0o644); err != nil {
@@ -76,17 +76,42 @@ func TestWireFingerprintByteStable(t *testing.T) {
 	}
 }
 
-// stripComments drops '#' comment and blank lines so prefix comparison sees
-// only field lines.
-func stripComments(b []byte) []byte {
-	var out bytes.Buffer
+// appendOnly reports whether got extends prev per struct: every struct's
+// committed field lines must be a prefix of its current ones, matching the
+// wirecompat analyzer's per-struct check (gob identifies fields by name, so
+// appending to Request is as safe as appending to Response even though it
+// inserts lines mid-fingerprint).
+func appendOnly(got, prev []byte) bool {
+	gotFields := fieldsByStruct(got)
+	for name, want := range fieldsByStruct(prev) {
+		have := gotFields[name]
+		if len(have) < len(want) {
+			return false
+		}
+		for i, w := range want {
+			if have[i] != w {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fieldsByStruct groups the fingerprint's "Struct.Field type" lines by struct
+// name, dropping '#' comments and blank lines.
+func fieldsByStruct(b []byte) map[string][]string {
+	//skallavet:allow stringkey -- fingerprint parsing in a test, runs once
+	out := map[string][]string{}
 	for _, line := range bytes.Split(b, []byte("\n")) {
 		trimmed := bytes.TrimSpace(line)
 		if len(trimmed) == 0 || trimmed[0] == '#' {
 			continue
 		}
-		out.Write(trimmed)
-		out.WriteByte('\n')
+		name, _, ok := bytes.Cut(trimmed, []byte("."))
+		if !ok {
+			continue
+		}
+		out[string(name)] = append(out[string(name)], string(trimmed))
 	}
-	return out.Bytes()
+	return out
 }

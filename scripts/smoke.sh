@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # End-to-end smoke test: build the binaries, generate a tiny dataset, start a
 # site with observability endpoints, run one distributed query through the
-# coordinator, and assert /healthz and /metrics look right.
+# coordinator, and assert /healthz and /metrics look right. A second
+# coordinator run in REPL mode then exercises the query profiler: after a
+# query, /debug/queries must list a well-formed profile with a non-empty
+# plan fingerprint, and its /trace export must be trace-event JSON.
 #
 # Failure discipline: set -eu plus explicit exit-code checks on every stage,
 # and a liveness probe (kill -0) on the site daemon before each assertion —
@@ -13,7 +16,8 @@ set -eu
 workdir=$(mktemp -d)
 site_pid=""
 site_log=""
-trap 'kill $site_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+coord_pid=""
+trap 'kill $site_pid $coord_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 fail() {
   echo "SMOKE FAILURE: $1" >&2
@@ -81,6 +85,63 @@ done
 # The served base request must be counted.
 echo "$metrics" | grep 'skalla_server_requests_total{kind="base"}' \
   | grep -qv ' 0$' || fail "base request not counted"
+
+echo "==> start coordinator (repl, profiler endpoints)"
+coord_log="$workdir/coord.log"
+fifo="$workdir/repl-in"
+mkfifo "$fifo"
+"$workdir/bin/skalla-coordinator" -sites 127.0.0.1:7471 -data "$workdir/tpcr" \
+  -repl -obs-addr 127.0.0.1:9472 <"$fifo" >"$coord_log" 2>&1 &
+coord_pid=$!
+# Hold the fifo's write end open for the whole stage; closing it ends the REPL.
+exec 3>"$fifo"
+
+coord_ready=""
+for _ in $(seq 1 50); do
+  kill -0 "$coord_pid" 2>/dev/null || { cat "$coord_log" >&2; fail "coordinator died during startup"; }
+  if curl -sf http://127.0.0.1:9472/healthz >/dev/null 2>&1; then
+    coord_ready=yes
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$coord_ready" ] || fail "coordinator obs endpoint never became ready"
+
+echo "==> run query through repl"
+printf 'base TPCR key NationKey\nop B.NationKey = R.NationKey :: count(*) as items;\n' >&3
+
+echo "==> check /debug/queries"
+# The profile is published when the query finishes; poll the list for it.
+queries=""
+for _ in $(seq 1 50); do
+  queries=$(curl -s http://127.0.0.1:9472/debug/queries) || true
+  case "$queries" in *'"QueryID":"'*) break ;; esac
+  sleep 0.2
+done
+case "$queries" in
+  *'"QueryID":"'*) ;;
+  *) cat "$coord_log" >&2; fail "/debug/queries never listed a profile: $queries" ;;
+esac
+echo "$queries" | grep -q '"Fingerprint":"[a-z0-9]' \
+  || fail "profile list has no plan fingerprint: $queries"
+
+qid=$(echo "$queries" | sed -n 's/.*"QueryID":"\([^"]*\)".*/\1/p' | head -1)
+[ -n "$qid" ] || fail "could not extract a query id from $queries"
+
+detail=$(curl -sf "http://127.0.0.1:9472/debug/queries/$qid") \
+  || fail "profile detail fetch failed for $qid"
+echo "$detail" | grep -q '"Rounds":\[{' || fail "profile detail has no rounds: $detail"
+echo "$detail" | grep -q '"Breakdown":{' || fail "profile detail has no site breakdown: $detail"
+
+trace=$(curl -sf "http://127.0.0.1:9472/debug/queries/$qid/trace") \
+  || fail "trace export fetch failed for $qid"
+echo "$trace" | grep -q '"traceEvents": *\[' || fail "trace export is not trace-event JSON: $trace"
+echo "$trace" | grep -q '"ph": *"X"' || fail "trace export has no complete events: $trace"
+
+printf '\\q\n' >&3
+exec 3>&-
+wait $coord_pid 2>/dev/null || true
+coord_pid=""
 
 echo "==> shut down"
 kill $site_pid

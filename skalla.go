@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"skalla/internal/agg"
 	"skalla/internal/core"
@@ -41,6 +42,7 @@ import (
 	"skalla/internal/engine"
 	"skalla/internal/expr"
 	"skalla/internal/gmdj"
+	"skalla/internal/obs"
 	"skalla/internal/plan"
 	"skalla/internal/relation"
 	"skalla/internal/stats"
@@ -74,8 +76,13 @@ type (
 	// Plan is a compiled distributed evaluation plan (rule trace, cost
 	// estimate, and fingerprint included).
 	Plan = plan.Plan
-	// Result bundles the result relation, cost metrics, and the plan.
+	// Result bundles the result relation, cost metrics, the plan, and the
+	// stitched execution profile.
 	Result = core.Result
+	// QueryProfile is the stitched per-round, per-site-call cost record of
+	// one execution: coordinator envelope plus each site's own breakdown
+	// (eval time, rows per worker, segment reads, codec bytes).
+	QueryProfile = obs.QueryProfile
 	// Metrics is the per-round cost breakdown of an execution.
 	Metrics = stats.Metrics
 	// NetModel converts measured traffic into modeled communication time.
@@ -276,6 +283,7 @@ type clusterConfig struct {
 	sel        plan.Selection
 	selSet     bool
 	selErr     error
+	slowQuery  time.Duration
 }
 
 // WithCatalog attaches distribution knowledge, enabling the
@@ -327,6 +335,13 @@ func WithSiteRetry(p RetryPolicy) ClusterOption {
 // and this option governs only the coordinator's concurrent merge.
 func WithWorkers(n int) ClusterOption {
 	return func(c *clusterConfig) { c.workers = n }
+}
+
+// WithSlowQuery makes the coordinator log the full execution profile of any
+// query slower than d (and count it in skalla_coord_slow_queries_total).
+// Zero disables slow-query logging.
+func WithSlowQuery(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.slowQuery = d }
 }
 
 // WithPlanMode sets the cluster's default rule selection from the textual
@@ -388,6 +403,7 @@ func NewLocalCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	coord.SetRowBlocking(cfg.blockRows)
 	coord.SetRetryPolicy(cfg.retry)
 	coord.SetMergeWorkers(cfg.workers)
+	coord.SetSlowQueryThreshold(cfg.slowQuery)
 	if cfg.traceTo != nil {
 		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
 	}
@@ -423,6 +439,7 @@ func Connect(addrs []string, opts ...ClusterOption) (*Cluster, error) {
 	coord.SetRowBlocking(cfg.blockRows)
 	coord.SetRetryPolicy(cfg.retry)
 	coord.SetMergeWorkers(cfg.workers)
+	coord.SetSlowQueryThreshold(cfg.slowQuery)
 	if cfg.traceTo != nil {
 		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
 	}
@@ -470,6 +487,29 @@ func (c *Cluster) LoadPartitions(ctx context.Context, name string, parts []*Rela
 // Execute evaluates a query under the given optimization switches.
 func (c *Cluster) Execute(ctx context.Context, q Query, opts Options) (*Result, error) {
 	return c.coord.Execute(ctx, q, opts)
+}
+
+// ExecuteProfiled evaluates a query and returns the result together with its
+// stitched execution profile: per round, per site call, the coordinator's
+// envelope and the site's own breakdown. The profile is also retained in the
+// in-process ring served at /debug/queries (see LastProfiles).
+func (c *Cluster) ExecuteProfiled(ctx context.Context, q Query, opts Options) (*Result, *QueryProfile, error) {
+	res, err := c.coord.Execute(ctx, q, opts)
+	if res == nil {
+		return nil, nil, err
+	}
+	return res, res.Profile, err
+}
+
+// LastProfiles returns up to n recently retained query profiles, newest
+// first (all retained profiles when n <= 0). The ring is process-global and
+// holds obs.DefaultProfileCapacity entries.
+func LastProfiles(n int) []*QueryProfile {
+	all := obs.Profiles.List()
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
 }
 
 // ExecuteSelected evaluates a query under the cluster's configured plan mode
@@ -592,6 +632,7 @@ func NewTieredLocalCluster(leaves, relays int, opts ...ClusterOption) (*Cluster,
 	coord.SetRowBlocking(cfg.blockRows)
 	coord.SetRetryPolicy(cfg.retry)
 	coord.SetMergeWorkers(cfg.workers)
+	coord.SetSlowQueryThreshold(cfg.slowQuery)
 	if cfg.traceTo != nil {
 		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
 	}

@@ -1,0 +1,120 @@
+// Package metricname enforces the exported-metrics naming contract: every
+// metric registered through obs.Registry is named
+// `skalla_<layer>_<quantity>...` in snake_case, counters end in `_total`, and
+// nothing else does. The name is the scrape-side identity of the series —
+// dashboards, alerts, and the bench-to-Prometheus join all key on it — so a
+// malformed or misclassified name ships a permanent contract violation that
+// only surfaces after operators have built on it.
+//
+// Three patterns are flagged on calls to the Registry constructors (Counter,
+// CounterVec, Gauge, GaugeVec, FloatGauge, FloatGaugeVec, Histogram,
+// HistogramVec):
+//
+//  1. a name argument that is not a string literal — registration names must
+//     be grep-able constants, not computed values;
+//  2. a literal that does not match ^skalla_[a-z][a-z0-9]*(_[a-z0-9]+)+$ —
+//     the skalla_ namespace plus at least a layer and a quantity segment;
+//  3. a counter not ending in `_total`, or a non-counter ending in `_total`
+//     — the Prometheus convention that lets consumers tell rates from
+//     levels by name alone.
+package metricname
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"skalla/tools/skallavet/analysis"
+)
+
+// RegistryPackage is the package defining the metrics registry; only
+// constructor calls on its Registry type are checked.
+const RegistryPackage = "skalla/internal/obs"
+
+// constructors maps Registry method names to whether they build counters.
+//
+//skallavet:allow stringkey -- tiny fixed lookup table in an analyzer
+var constructors = map[string]bool{
+	"Counter":       true,
+	"CounterVec":    true,
+	"Gauge":         false,
+	"GaugeVec":      false,
+	"FloatGauge":    false,
+	"FloatGaugeVec": false,
+	"Histogram":     false,
+	"HistogramVec":  false,
+}
+
+// namePattern is the required shape: the skalla_ namespace followed by at
+// least two snake_case segments (layer, quantity), each [a-z][a-z0-9]*.
+var namePattern = regexp.MustCompile(`^skalla_[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// Analyzer is the metricname rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "metrics registered via obs.Registry must be named skalla_<layer>_<quantity>... with _total on counters only",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			isCounter, known := constructors[sel.Sel.Name]
+			if !known || !isRegistry(pass.Info, sel.X) || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind.String() != "STRING" {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name passed to Registry.%s must be a string literal — computed names cannot be audited against the skalla_ naming contract", sel.Sel.Name)
+				return true
+			}
+			name := strings.Trim(lit.Value, "`\"")
+			if !namePattern.MatchString(name) {
+				pass.Reportf(lit.Pos(),
+					"metric name %q does not match skalla_<layer>_<quantity>... (%s)", name, namePattern)
+				return true
+			}
+			if isCounter && !strings.HasSuffix(name, "_total") {
+				pass.Reportf(lit.Pos(),
+					"counter %q must end in _total — consumers tell rates from levels by the suffix", name)
+			}
+			if !isCounter && strings.HasSuffix(name, "_total") {
+				pass.Reportf(lit.Pos(),
+					"non-counter %q must not end in _total — the suffix promises a monotonic rate", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistry reports whether expr's type is obs.Registry (or a pointer to
+// it), so look-alike methods on unrelated types are not flagged.
+func isRegistry(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == RegistryPackage
+}

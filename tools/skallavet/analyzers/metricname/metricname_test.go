@@ -1,0 +1,16 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"skalla/tools/skallavet/analyzers/metricname"
+	"skalla/tools/skallavet/internal/checktest"
+)
+
+func TestRegistryCalls(t *testing.T) {
+	checktest.Run(t, metricname.Analyzer, "metricfix")
+}
+
+func TestLookAlikeRegistryIgnored(t *testing.T) {
+	checktest.Run(t, metricname.Analyzer, "otherreg")
+}

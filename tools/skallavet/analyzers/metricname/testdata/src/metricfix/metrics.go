@@ -1,0 +1,25 @@
+// Fixture: metric registrations against the obs registry, good and bad.
+package metricfix
+
+import "skalla/internal/obs"
+
+var computed = "skalla_" + "coord_dynamic_total"
+
+var (
+	// Well-formed registrations: namespace + layer + quantity, counters
+	// (and only counters) ending in _total.
+	good      = obs.Default.Counter("skalla_coord_queries_total", "queries")
+	goodVec   = obs.Default.CounterVec("skalla_transport_bytes_total", "bytes", "dir")
+	goodGauge = obs.Default.Gauge("skalla_coord_active_queries", "in flight")
+	goodHist  = obs.Default.Histogram("skalla_site_compute_seconds", "compute", nil)
+	goodFloat = obs.Default.FloatGaugeVec("skalla_plan_cost_error_ratio", "drift", "direction")
+
+	noNamespace = obs.Default.Counter("coord_queries_total", "queries")              // want `does not match skalla_<layer>_<quantity>`
+	onePart     = obs.Default.Gauge("skalla_queries", "too flat")                    // want `does not match skalla_<layer>_<quantity>`
+	camel       = obs.Default.Gauge("skalla_coord_activeQueries", "camel")           // want `does not match skalla_<layer>_<quantity>`
+	counterBare = obs.Default.Counter("skalla_coord_queries", "missing suffix")      // want `counter "skalla_coord_queries" must end in _total`
+	gaugeTotal  = obs.Default.Gauge("skalla_coord_active_total", "lying suffix")     // want `non-counter "skalla_coord_active_total" must not end in _total`
+	histTotal   = obs.Default.HistogramVec("skalla_site_compute_total", "", nil)     // want `non-counter "skalla_site_compute_total" must not end in _total`
+	notLiteral  = obs.Default.Counter(computed, "computed")                          // want `must be a string literal`
+	floatTotal  = obs.Default.FloatGauge("skalla_process_uptime_total", "not a rate") // want `non-counter "skalla_process_uptime_total" must not end in _total`
+)

@@ -1,0 +1,11 @@
+// Fixture: a look-alike Registry outside skalla/internal/obs — its
+// constructor calls are not metric registrations and must not be flagged.
+package otherreg
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) int { return 0 }
+
+var reg Registry
+
+var notAMetric = reg.Counter("AnythingGoesHere", "local billing counter")

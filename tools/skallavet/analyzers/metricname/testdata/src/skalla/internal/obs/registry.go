@@ -1,0 +1,35 @@
+// Fixture stub of the metrics registry: the constructor surface metricname
+// checks, with throwaway return types.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+type CounterVec struct{}
+type Gauge struct{}
+type GaugeVec struct{}
+type FloatGauge struct{}
+type FloatGaugeVec struct{}
+type Histogram struct{}
+type HistogramVec struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return nil }
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return nil
+}
+func (r *Registry) Gauge(name, help string) *Gauge { return nil }
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return nil
+}
+func (r *Registry) FloatGauge(name, help string) *FloatGauge { return nil }
+func (r *Registry) FloatGaugeVec(name, help string, labels ...string) *FloatGaugeVec {
+	return nil
+}
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return nil
+}
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return nil
+}
+
+var Default = &Registry{}

@@ -8,6 +8,7 @@ package main
 import (
 	"skalla/tools/skallavet/analyzers/blockpool"
 	"skalla/tools/skallavet/analyzers/ctxcall"
+	"skalla/tools/skallavet/analyzers/metricname"
 	"skalla/tools/skallavet/analyzers/nostdlog"
 	"skalla/tools/skallavet/analyzers/rulename"
 	"skalla/tools/skallavet/analyzers/stringkey"
@@ -22,6 +23,7 @@ func main() {
 		wirecompat.Analyzer,
 		ctxcall.Analyzer,
 		nostdlog.Analyzer,
+		metricname.Analyzer,
 		rulename.Analyzer,
 	)
 }
