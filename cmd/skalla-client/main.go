@@ -1,0 +1,102 @@
+// Command skalla-client submits statements to a skalla-coordinator running
+// in -serve mode and prints the result rows plus execution stats.
+//
+// Usage:
+//
+//	skalla-client -addr host:7474 -q 'SELECT SourceAS, COUNT(*) AS c FROM Flow GROUP BY SourceAS'
+//	skalla-client -addr host:7474 -query q.skalla -max-rows 50
+//
+// Statements are Egil SQL (SELECT ...) or the skalla query text format. One
+// invocation is one session; repeat -q to run several statements on it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"skalla"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "skalla-client:", err)
+		os.Exit(1)
+	}
+}
+
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string { return fmt.Sprint([]string(*r)) }
+func (r *repeatedFlag) Set(s string) error {
+	*r = append(*r, s)
+	return nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("skalla-client", flag.ContinueOnError)
+	var stmts repeatedFlag
+	fs.Var(&stmts, "q", "statement to run (repeatable; SQL or skalla query text)")
+	var (
+		addr      = fs.String("addr", "", "query server address (required; see skalla-coordinator -serve)")
+		queryFile = fs.String("query", "", "statement file (alternative to -q)")
+		maxRows   = fs.Int("max-rows", 20, "result rows to print")
+		timeout   = fs.Duration("timeout", 0, "per-statement deadline (0 = none)")
+		quiet     = fs.Bool("quiet", false, "print only the result rows, no stats line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if *maxRows < 0 {
+		return fmt.Errorf("-max-rows must be 0 or positive")
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must be 0 (none) or positive")
+	}
+	if *queryFile != "" {
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			return err
+		}
+		stmts = append(stmts, string(b))
+	}
+	if len(stmts) == 0 {
+		return fmt.Errorf("provide at least one statement with -q or -query")
+	}
+
+	client, err := skalla.DialQueryServer(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	for _, stmt := range stmts {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		rel, info, err := client.Query(ctx, stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d group(s):\n%s", rel.Len(), rel.Format(*maxRows))
+		if !*quiet {
+			fmt.Fprintf(out, "query %s: %s elapsed", info.QueryID, time.Duration(info.ElapsedNS))
+			if info.QueueNS > 0 {
+				fmt.Fprintf(out, ", %s queued", time.Duration(info.QueueNS))
+			}
+			if info.CacheHit {
+				fmt.Fprint(out, ", plan cache hit")
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}

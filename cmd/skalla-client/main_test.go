@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"skalla"
+	"skalla/internal/flow"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	cluster, err := skalla.NewLocalCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	d, err := flow.Generate(flow.Config{Rows: 200, Routers: 2, SourceAS: 6, DestAS: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.LoadPartitions(context.Background(), flow.RelationName, d.Parts); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := skalla.Serve(cluster, "127.0.0.1:0", skalla.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+func TestClientQueries(t *testing.T) {
+	addr := startServer(t)
+	var out bytes.Buffer
+	stmt := "SELECT SourceAS, COUNT(*) AS flows FROM Flow GROUP BY SourceAS"
+	if err := run([]string{"-addr", addr, "-q", stmt, "-q", stmt}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "group(s):") || !strings.Contains(s, "flows") {
+		t.Errorf("output missing result table:\n%s", s)
+	}
+	// The repeated statement on the same session reuses the prepared plan.
+	if !strings.Contains(s, "plan cache hit") {
+		t.Errorf("second run should report a plan cache hit:\n%s", s)
+	}
+	if !strings.Contains(s, "query s") {
+		t.Errorf("stats line missing the session query ID:\n%s", s)
+	}
+}
+
+func TestClientStatementError(t *testing.T) {
+	addr := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{"-addr", addr, "-q", "bogus statement"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Fatalf("bogus statement error = %v, want parse code", err)
+	}
+}
+
+func TestClientFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{},             // missing addr
+		{"-addr", "x"}, // missing statement
+		{"-addr", "x", "-q", "s", "-max-rows", "-1"},
+		{"-addr", "x", "-q", "s", "-timeout", "-1s"},
+		{"-addr", "x", "-query", "/nope/q.skalla"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

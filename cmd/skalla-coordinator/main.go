@@ -12,6 +12,16 @@
 // -data points at the dataset directory (for the manifest only; the sites
 // hold the data) and enables the distribution-aware optimizations. -explain
 // prints the plan without executing.
+//
+// With -serve the coordinator becomes a long-lived multi-tenant query server:
+//
+//	skalla-coordinator -sites host1:7070,host2:7070 -serve :7474 -obs-addr :9090
+//
+// Clients (skalla-client) submit statements over concurrent sessions;
+// repeated statements reuse prepared plans, -max-concurrent bounds admission
+// and -query-mem-budget bounds per-query coordinator memory. SIGINT/SIGTERM
+// flips /healthz to unhealthy, drains in-flight queries (bounded by
+// -site-timeout) and exits.
 package main
 
 import (
@@ -21,7 +31,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"skalla"
@@ -55,6 +68,10 @@ func run(args []string, out io.Writer) error {
 		planMode    = fs.String("plan-mode", "", "planner rule selection: auto, none, all, or rules=<name>,... (overrides -opts)")
 		explain     = fs.Bool("explain", false, "print the plan without executing")
 		replFlag    = fs.Bool("repl", false, "interactive mode: read statements from stdin")
+		serveAddr   = fs.String("serve", "", "run as a long-lived query server on this address (host:port; :0 for ephemeral)")
+		maxConc     = fs.Int("max-concurrent", 0, "serve mode: concurrently executing queries (0 = GOMAXPROCS)")
+		memBudget   = fs.Int64("query-mem-budget", 0, "serve mode: per-query coordinator memory budget in bytes (0 = off)")
+		planCache   = fs.Int("plan-cache", 0, "serve mode: prepared-plan cache capacity (0 = default)")
 		netFlag     = fs.String("net", "none", "network model for response-time reporting: none or lan")
 		maxRows     = fs.Int("max-rows", 20, "result rows to print")
 		statsJSON   = fs.String("stats-json", "", "also write the execution metrics as JSON to this file")
@@ -70,6 +87,38 @@ func run(args []string, out io.Writer) error {
 	if *sitesFlag == "" {
 		return fmt.Errorf("-sites is required")
 	}
+	for _, c := range []struct {
+		flag string
+		bad  bool
+		want string
+	}{
+		{"-workers", *workers < 0, "0 (auto) or positive"},
+		{"-block-rows", *blockRows < 0, "0 (off) or positive"},
+		{"-max-rows", *maxRows < 0, "0 or positive"},
+		{"-site-retries", *siteRetries < 1, "at least 1 (it counts attempts, not retries)"},
+		{"-site-timeout", *siteTimeout < 0, "0 (none) or positive"},
+		{"-slow-query", *slowQuery < 0, "0 (off) or positive"},
+		{"-max-concurrent", *maxConc < 0, "0 (GOMAXPROCS) or positive"},
+		{"-plan-cache", *planCache < 0, "0 (default) or positive"},
+		{"-query-mem-budget", *memBudget < 0, "0 (off) or positive"},
+	} {
+		if c.bad {
+			return fmt.Errorf("%s must be %s", c.flag, c.want)
+		}
+	}
+	queryFlags := *queryFile != "" || *queryText != "" || *sqlText != ""
+	switch {
+	case *replFlag && queryFlags:
+		return fmt.Errorf("-repl is interactive: it conflicts with -query/-q/-sql (submit the statement in the session instead)")
+	case *replFlag && *explain:
+		return fmt.Errorf("-repl conflicts with -explain (toggle \\explain inside the session instead)")
+	case *serveAddr != "" && *replFlag:
+		return fmt.Errorf("-serve conflicts with -repl")
+	case *serveAddr != "" && queryFlags:
+		return fmt.Errorf("-serve is a daemon mode: it conflicts with -query/-q/-sql (submit statements with skalla-client instead)")
+	case *serveAddr != "" && *explain:
+		return fmt.Errorf("-serve conflicts with -explain")
+	}
 	if *logFormat != "text" && *logFormat != "json" {
 		return fmt.Errorf("unknown log format %q (want text or json)", *logFormat)
 	}
@@ -79,6 +128,11 @@ func run(args []string, out io.Writer) error {
 	obs.RegisterBuildInfo()
 	health := obs.NewHealth()
 	health.Register("sites")
+	if *serveAddr != "" {
+		// Registered (and false) from the start: /healthz reports 503 until
+		// the server is accepting, and again as soon as shutdown begins.
+		health.Register("serving")
+	}
 	if *obsAddr != "" {
 		obsSrv, err := obs.ServeHTTP(*obsAddr, nil, health, nil, nil)
 		if err != nil {
@@ -98,8 +152,9 @@ func run(args []string, out io.Writer) error {
 	var post *egil.Statement
 	var err error
 	switch {
-	case *replFlag:
-		// Query flags are ignored in REPL mode.
+	case *replFlag, *serveAddr != "":
+		// Interactive and daemon modes take statements from their sessions;
+		// the conflict checks above already rejected any query flags.
 	case *sqlText != "" && text != "":
 		return fmt.Errorf("provide either -sql or -query/-q, not both")
 	case *sqlText != "":
@@ -110,7 +165,7 @@ func run(args []string, out io.Writer) error {
 	case text != "":
 		q, err = skalla.ParseQueryText(text)
 	default:
-		return fmt.Errorf("provide a query with -query, -q or -sql (or use -repl)")
+		return fmt.Errorf("provide a query with -query, -q or -sql (or use -repl / -serve)")
 	}
 	if err != nil {
 		return err
@@ -165,6 +220,14 @@ func run(args []string, out io.Writer) error {
 	}
 	defer cluster.Close()
 	health.Set("sites", true)
+
+	if *serveAddr != "" {
+		return serve(cluster, health, out, *serveAddr, skalla.ServerOptions{
+			MaxConcurrent:  *maxConc,
+			PlanCacheSize:  *planCache,
+			QueryMemBudget: *memBudget,
+		}, *siteTimeout)
+	}
 
 	if *replFlag {
 		return repl(cluster, os.Stdin, out, opts, *maxRows)
@@ -222,9 +285,65 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*statsJSON, append(data, '\n'), 0o644); err != nil {
+		if err := writeFileAtomic(*statsJSON, append(data, '\n')); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// serve runs the coordinator as a long-lived multi-tenant query server until
+// SIGINT/SIGTERM. Shutdown ordering: /healthz flips unhealthy first (load
+// balancers stop routing), then in-flight statements drain — bounded by
+// drainTimeout (0 = unbounded) — then listeners and site connections close.
+func serve(cluster *skalla.Cluster, health *obs.Health, out io.Writer, addr string, opts skalla.ServerOptions, drainTimeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv, err := skalla.Serve(cluster, addr, opts)
+	if err != nil {
+		return err
+	}
+	health.Set("serving", true)
+	fmt.Fprintf(out, "serving on %s\n", srv.Addr())
+	<-ctx.Done()
+	stop() // a second signal during the drain kills the process the default way
+	health.Set("serving", false)
+	obs.Logger().Info("draining", "timeout", drainTimeout)
+	drainCtx := context.Background()
+	if drainTimeout > 0 {
+		var cancel context.CancelFunc
+		drainCtx, cancel = context.WithTimeout(drainCtx, drainTimeout)
+		defer cancel()
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain cut short after %s: %w", drainTimeout, err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to path via a temp file in the same directory
+// plus rename, so a crash or write failure never leaves a truncated file at
+// path (and readers always see either the old or the new content).
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmp.Name(), 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
 	}
 	return nil
 }

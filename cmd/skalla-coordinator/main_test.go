@@ -123,6 +123,43 @@ func TestCoordinatorErrors(t *testing.T) {
 	}
 }
 
+// Conflicting modes and out-of-domain flag values must fail fast, before any
+// site is dialed (the bogus -sites value would hang a dial). -q/-query/-sql
+// with -repl used to be silently ignored; they are flag errors now.
+func TestFlagConflictsAndDomains(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"repl with -q", []string{"-sites", "x", "-repl", "-q", testQuery}},
+		{"repl with -query", []string{"-sites", "x", "-repl", "-query", "q.skalla"}},
+		{"repl with -sql", []string{"-sites", "x", "-repl", "-sql", "SELECT 1"}},
+		{"repl with -explain", []string{"-sites", "x", "-repl", "-explain"}},
+		{"serve with -repl", []string{"-sites", "x", "-serve", ":0", "-repl"}},
+		{"serve with -q", []string{"-sites", "x", "-serve", ":0", "-q", testQuery}},
+		{"serve with -sql", []string{"-sites", "x", "-serve", ":0", "-sql", "SELECT 1"}},
+		{"serve with -explain", []string{"-sites", "x", "-serve", ":0", "-explain"}},
+		{"negative workers", []string{"-sites", "x", "-q", testQuery, "-workers", "-1"}},
+		{"negative block-rows", []string{"-sites", "x", "-q", testQuery, "-block-rows", "-1"}},
+		{"negative max-rows", []string{"-sites", "x", "-q", testQuery, "-max-rows", "-1"}},
+		{"zero site-retries", []string{"-sites", "x", "-q", testQuery, "-site-retries", "0"}},
+		{"negative site-retries", []string{"-sites", "x", "-q", testQuery, "-site-retries", "-2"}},
+		{"negative site-timeout", []string{"-sites", "x", "-q", testQuery, "-site-timeout", "-1s"}},
+		{"negative slow-query", []string{"-sites", "x", "-q", testQuery, "-slow-query", "-1s"}},
+		{"negative max-concurrent", []string{"-sites", "x", "-serve", ":0", "-max-concurrent", "-1"}},
+		{"negative plan-cache", []string{"-sites", "x", "-serve", ":0", "-plan-cache", "-1"}},
+		{"negative query-mem-budget", []string{"-sites", "x", "-serve", ":0", "-query-mem-budget", "-1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Errorf("run(%v): expected flag error", tc.args)
+			}
+		})
+	}
+}
+
 func TestParseOpts(t *testing.T) {
 	o, err := parseOpts("coalesce,group-site")
 	if err != nil || !o.Coalesce || !o.GroupReduceSite || o.SyncReduce {
@@ -195,6 +232,55 @@ func TestCoordinatorStatsJSON(t *testing.T) {
 	rounds, ok := m["Rounds"].([]any)
 	if !ok || len(rounds) != 3 {
 		t.Errorf("stats JSON rounds = %v", m["Rounds"])
+	}
+}
+
+// The -stats-json write is atomic: a failing run never truncates an existing
+// stats file, and a successful run replaces it whole (no temp files left).
+func TestCoordinatorStatsJSONAtomic(t *testing.T) {
+	dir, sites := startCluster(t)
+	tmp := t.TempDir()
+	path := filepath.Join(tmp, "stats.json")
+	if err := os.WriteFile(path, []byte("old-content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A failing query must leave the previous stats file untouched.
+	var out bytes.Buffer
+	if err := run([]string{"-sites", sites, "-q", "bogus", "-stats-json", path}, &out); err == nil {
+		t.Fatal("bogus query succeeded")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "old-content" {
+		t.Fatalf("failed run clobbered stats file: %q, %v", data, err)
+	}
+
+	// A successful run replaces it with valid JSON and cleans up its temp.
+	if err := run([]string{"-sites", sites, "-data", dir, "-q", testQuery, "-stats-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("stats file is not JSON after rewrite: %v", err)
+	}
+	entries, err := os.ReadDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "stats.json" {
+			t.Errorf("leftover file %q next to stats.json", e.Name())
+		}
+	}
+
+	// A stats path in a missing directory fails the run cleanly.
+	bad := filepath.Join(tmp, "nope", "stats.json")
+	if err := run([]string{"-sites", sites, "-data", dir, "-q", testQuery, "-stats-json", bad}, &out); err == nil {
+		t.Error("missing stats directory: expected error")
 	}
 }
 

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"skalla/internal/obs"
+)
+
+// ErrAdmissionReject marks a query turned away at admission because the
+// concurrency limit was reached and the bounded wait queue was already full.
+// Under concurrency, skew-driven stragglers make unbounded admission
+// pathological: every queued query pins coordinator memory while slow sites
+// hold up the queries ahead of it, so beyond the queue bound the coordinator
+// sheds load instead of buffering it. Match with errors.Is; clients should
+// back off and resubmit.
+var ErrAdmissionReject = errors.New("core: admission queue full")
+
+// admission bounds concurrently executing queries with a semaphore plus a
+// bounded wait queue. Executing slots are tokens in sem; waiters park in the
+// sem send until a slot frees, with the waiting counter enforcing the queue
+// bound up front so a full queue rejects immediately instead of blocking.
+type admission struct {
+	sem     chan struct{}
+	queue   int64
+	waiting atomic.Int64
+}
+
+// SetAdmission installs admission control: at most maxConcurrent queries
+// execute at once, up to queueDepth more wait for a slot (queue time is
+// recorded in the query profile), and anything beyond that fails immediately
+// with ErrAdmissionReject. maxConcurrent <= 0 defaults to GOMAXPROCS;
+// queueDepth < 0 defaults to 4x maxConcurrent. Calling it with both zero
+// installs the defaults; admission is off until SetAdmission is called.
+func (c *Coordinator) SetAdmission(maxConcurrent, queueDepth int) {
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth < 0 {
+		queueDepth = 4 * maxConcurrent
+	}
+	c.admit = &admission{sem: make(chan struct{}, maxConcurrent), queue: int64(queueDepth)}
+}
+
+// acquire takes an execution slot, waiting in the bounded queue when all
+// slots are busy. It returns the time spent queued. A full queue or a
+// context cancellation while waiting fails the query before any site work
+// starts.
+func (a *admission) acquire(ctx context.Context) (time.Duration, error) {
+	if a == nil {
+		return 0, nil
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return 0, nil // free slot, no queueing
+	default:
+	}
+	if a.waiting.Add(1) > a.queue {
+		a.waiting.Add(-1)
+		obs.ServerAdmissionRejects.Inc()
+		return 0, fmt.Errorf("%w (%d executing, %d queued)", ErrAdmissionReject, cap(a.sem), a.queue)
+	}
+	obs.ServerQueuedQueries.Add(1)
+	start := time.Now()
+	defer func() {
+		a.waiting.Add(-1)
+		obs.ServerQueuedQueries.Add(-1)
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		return time.Since(start), nil
+	case <-ctx.Done():
+		return time.Since(start), ctx.Err()
+	}
+}
+
+// release frees an execution slot.
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	<-a.sem
+}

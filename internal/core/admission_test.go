@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionNilIsOpen(t *testing.T) {
+	var a *admission
+	queued, err := a.acquire(context.Background())
+	if err != nil || queued != 0 {
+		t.Fatalf("nil admission acquire = (%v, %v), want (0, nil)", queued, err)
+	}
+	a.release() // must not panic
+}
+
+func TestAdmissionRejectsBeyondQueue(t *testing.T) {
+	a := &admission{sem: make(chan struct{}, 1), queue: 1}
+	ctx := context.Background()
+
+	if _, err := a.acquire(ctx); err != nil { // takes the only slot
+		t.Fatal(err)
+	}
+
+	// One waiter fits in the queue and parks.
+	waited := make(chan time.Duration, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d, err := a.acquire(ctx)
+		if err != nil {
+			t.Error(err)
+		}
+		waited <- d
+	}()
+	// Wait until the goroutine is counted as queued before overflowing.
+	for a.waiting.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Second waiter overflows the bounded queue: immediate typed reject.
+	if _, err := a.acquire(ctx); !errors.Is(err, ErrAdmissionReject) {
+		t.Fatalf("overflow acquire error = %v, want ErrAdmissionReject", err)
+	}
+
+	a.release() // frees the slot; parked waiter proceeds
+	wg.Wait()
+	if d := <-waited; d <= 0 {
+		t.Fatalf("queued waiter recorded no queue time (%v)", d)
+	}
+	a.release()
+
+	// Everything drained: a fresh acquire is a fast-path success again.
+	if queued, err := a.acquire(ctx); err != nil || queued != 0 {
+		t.Fatalf("post-drain acquire = (%v, %v), want (0, nil)", queued, err)
+	}
+	a.release()
+}
+
+func TestAdmissionQueueCancellation(t *testing.T) {
+	a := &admission{sem: make(chan struct{}, 1), queue: 1}
+	if _, err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		done <- err
+	}()
+	for a.waiting.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter error = %v, want context.Canceled", err)
+	}
+	// The cancelled waiter must have released its queue reservation.
+	if got := a.waiting.Load(); got != 0 {
+		t.Fatalf("waiting = %d after cancellation, want 0", got)
+	}
+	a.release()
+}
+
+func TestSetAdmissionDefaults(t *testing.T) {
+	c := &Coordinator{}
+	c.SetAdmission(0, -1)
+	if c.admit == nil || cap(c.admit.sem) < 1 {
+		t.Fatal("SetAdmission(0, -1) did not install GOMAXPROCS defaults")
+	}
+	if want := int64(4 * cap(c.admit.sem)); c.admit.queue != want {
+		t.Fatalf("default queue depth = %d, want %d", c.admit.queue, want)
+	}
+	c.SetAdmission(2, 0)
+	if cap(c.admit.sem) != 2 || c.admit.queue != 0 {
+		t.Fatalf("SetAdmission(2, 0) = (slots %d, queue %d), want (2, 0)", cap(c.admit.sem), c.admit.queue)
+	}
+}

@@ -34,6 +34,9 @@ type Coordinator struct {
 	retry        RetryPolicy
 	mergeWorkers int
 	slowQuery    time.Duration
+	memBudget    int64      // per-query coordinator memory budget (0 = off)
+	admit        *admission // nil = admission control off
+	plans        *planCache // nil = plan caching off
 }
 
 // New creates a coordinator. cat may be nil (no distribution knowledge); net
@@ -172,8 +175,16 @@ func (c *Coordinator) ExecuteWith(ctx context.Context, q gmdj.Query, sel plan.Se
 // ExecutePlan runs a pre-compiled plan. A query ID is drawn from ctx (or
 // generated) and propagated to every site call, so site-side logs and metrics
 // correlate with the coordinator's rounds; the whole evaluation is recorded
-// as an obs query span.
+// as an obs query span. When admission control is configured (SetAdmission)
+// the evaluation first takes an execution slot — possibly waiting in the
+// bounded queue, with the wait recorded as the profile's QueueTime — and a
+// full queue fails the query with ErrAdmissionReject before any site work.
 func (c *Coordinator) ExecutePlan(ctx context.Context, pl *plan.Plan, src gmdj.SchemaSource) (*Result, error) {
+	queued, err := c.admit.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer c.admit.release()
 	qid := obs.QueryIDFrom(ctx)
 	if qid == "" {
 		qid = obs.NewQueryID()
@@ -189,6 +200,9 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, pl *plan.Plan, src gmdj.S
 	res, err := c.executePlan(ctx, pl, src, span)
 	span.End(err)
 	prof := pb.Profile()
+	if prof != nil {
+		prof.QueueTime = queued
+	}
 	c.finishProfile(prof, pl, res)
 	if res != nil {
 		res.Profile = prof
@@ -201,7 +215,7 @@ func (c *Coordinator) executePlan(ctx context.Context, pl *plan.Plan, src gmdj.S
 	if err != nil {
 		return nil, err
 	}
-	mg := newMerger(pl.Keys(), pl.XSchemas, segs)
+	mg := newMerger(pl.Keys(), pl.XSchemas, segs, newMemBudget(c.memBudget))
 	metrics := stats.NewMetrics(c.net)
 
 	startOp := 0

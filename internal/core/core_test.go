@@ -422,7 +422,7 @@ func TestMergerUnit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := newMerger([]string{"g", "h"}, xs, segs)
+	m := newMerger([]string{"g", "h"}, xs, segs, nil)
 
 	base := relation.New(xs[0])
 	base.MustAppend(relation.Tuple{relation.NewInt(1), relation.NewInt(0)})

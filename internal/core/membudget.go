@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrQueryMemBudget marks a query that was failed because its coordinator-side
+// working set (staged H blocks plus base-result structure growth) exceeded the
+// configured per-query memory budget. The one over-budget query fails with
+// this typed error; concurrent queries and the daemon itself are unaffected.
+// Match it with errors.Is.
+var ErrQueryMemBudget = errors.New("core: query memory budget exceeded")
+
+// SetQueryMemBudget bounds the coordinator-side memory one query may hold:
+// staged H-block bytes plus base-result structure growth, charged at staging
+// and merge boundaries (relation.MemBytes estimates). A query crossing the
+// budget fails with ErrQueryMemBudget instead of OOMing the daemon. Zero (the
+// default) disables the budget.
+func (c *Coordinator) SetQueryMemBudget(bytes int64) { c.memBudget = bytes }
+
+// memBudget tracks one query's coordinator-side memory charge. Charges come
+// from the merger (X growth) and from per-site staging goroutines (H blocks),
+// so the counter is atomic; the limit check is advisory bookkeeping, not a
+// hard allocator cap — blocks are charged as soon as they are staged, which is
+// exactly the point where an unbounded query would otherwise accumulate
+// memory.
+type memBudget struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// newMemBudget returns a budget tracker, or nil when limit <= 0 (nil receiver
+// methods are no-ops, so unbudgeted queries pay nothing).
+func newMemBudget(limit int64) *memBudget {
+	if limit <= 0 {
+		return nil
+	}
+	return &memBudget{limit: limit}
+}
+
+// charge adds n bytes to the query's working set and fails with a typed
+// error once the budget is crossed. The overshooting charge stays counted:
+// the caller is expected to fail the query, and its release path returns the
+// bytes.
+func (b *memBudget) charge(n int64) error {
+	if b == nil || n <= 0 {
+		return nil
+	}
+	if used := b.used.Add(n); used > b.limit {
+		return fmt.Errorf("%w: %d bytes held > budget %d", ErrQueryMemBudget, used, b.limit)
+	}
+	return nil
+}
+
+// release returns n bytes to the budget (a discarded or committed stage).
+func (b *memBudget) release(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.used.Add(-n)
+}

@@ -157,7 +157,7 @@ func TestCommitStageShardedMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := newMerger([]string{"g", "h"}, xs, segs)
+		m := newMerger([]string{"g", "h"}, xs, segs, nil)
 		if err := m.InitBase(newBase()); err != nil {
 			t.Fatal(err)
 		}
@@ -206,7 +206,7 @@ func TestCommitStageShardedMatchesSerial(t *testing.T) {
 	}
 	// A stage for the wrong operator must be rejected, not merged.
 	segs, _ := buildSegments(q, src, 2)
-	m := newMerger([]string{"g", "h"}, xs, segs)
+	m := newMerger([]string{"g", "h"}, xs, segs, nil)
 	if err := m.InitBase(newBase()); err != nil {
 		t.Fatal(err)
 	}

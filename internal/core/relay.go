@@ -199,7 +199,9 @@ func (r *Relay) EvalLocal(ctx context.Context, req engine.LocalRequest) (*relati
 	if err != nil {
 		return nil, err
 	}
-	m := newMerger(req.Query.Keys(), xs, segs)
+	// The relay merges child fragments unbudgeted: the per-query memory
+	// budget is the root coordinator's concern, not the interior tier's.
+	m := newMerger(req.Query.Keys(), xs, segs, nil)
 	if err := m.InitLocal(req.UpTo); err != nil {
 		return nil, err
 	}

@@ -61,14 +61,18 @@ type merger struct {
 	// by stripes[i % mergeStripes], so two sites' stages merging into the
 	// same group serialize on one stripe instead of one global lock.
 	stripes [mergeStripes]sync.Mutex
+
+	// budget is the query's coordinator-side memory budget (nil = unbounded).
+	// X growth is charged here; staged H blocks are charged by their stages.
+	budget *memBudget
 }
 
 // mergeStripes is the lock-stripe count for concurrent stage commits (power
 // of two; key-index row positions hash uniformly across stripes).
 const mergeStripes = 64
 
-func newMerger(keys []string, xschemas []relation.Schema, segs [][]varSegment) *merger {
-	return &merger{keys: keys, xschemas: xschemas, segs: segs}
+func newMerger(keys []string, xschemas []relation.Schema, segs [][]varSegment, budget *memBudget) *merger {
+	return &merger{keys: keys, xschemas: xschemas, segs: segs, budget: budget}
 }
 
 // InitBase installs the synchronized base-values relation: the multiset
@@ -78,6 +82,9 @@ func (m *merger) InitBase(b *relation.Relation) error {
 		return fmt.Errorf("core: base schema %s, want %s", b.Schema, m.xschemas[0])
 	}
 	if err := b.DedupBy(m.keys); err != nil {
+		return err
+	}
+	if err := m.budget.charge(b.MemBytes()); err != nil {
 		return err
 	}
 	m.x = b
@@ -124,6 +131,13 @@ func (m *merger) Extend() error {
 		return fmt.Errorf("core: extend past last operator (%d)", k)
 	}
 	ident := m.identityFor(k)
+	// Extending X re-backs every row one operator wider; charge the growth
+	// before allocating it so an over-budget query fails with a typed error
+	// here, at the merge boundary, instead of OOMing the daemon.
+	grow := int64(len(m.x.Tuples)) * (int64(len(ident))*relation.ValueMemBytes + relation.TupleMemBytes)
+	if err := m.budget.charge(grow); err != nil {
+		return err
+	}
 	for i, row := range m.x.Tuples {
 		// Build each extended row in a fresh backing array: in-flight
 		// serialization of pre-extension fragments may still be reading the
@@ -227,20 +241,24 @@ func (m *merger) MergeH(h *relation.Relation, k int) error {
 // merger state beyond the immutable keys/segments) and committed one at a
 // time on the coordinator's merge loop.
 type hStage struct {
-	keys []string
-	segs []varSegment
-	rel  *relation.Relation   // accumulated H rows; schema from the first block
-	pool []*relation.Relation // staged blocks whose storage is recycled on release
+	keys   []string
+	segs   []varSegment
+	rel    *relation.Relation   // accumulated H rows; schema from the first block
+	pool   []*relation.Relation // staged blocks whose storage is recycled on release
+	budget *memBudget           // query memory budget the staged bytes are charged to
+	bytes  int64                // bytes currently charged to budget for this stage
 }
 
 // NewStage opens a staging buffer for one site's operator-k stream.
 func (m *merger) NewStage(k int) *hStage {
-	return &hStage{keys: m.keys, segs: m.segs[k]}
+	return &hStage{keys: m.keys, segs: m.segs[k], budget: m.budget}
 }
 
 // Add validates and stages one H block. The block's tuples are referenced,
 // not copied, so the block must stay untouched until Commit or Discard (both
-// recycle it back to its pool).
+// recycle it back to its pool). The block's estimated bytes are charged to
+// the query's memory budget; an over-budget charge fails the stage (and with
+// it the query — budget errors are permanent, not retried).
 func (st *hStage) Add(h *relation.Relation) error {
 	if err := validateH(h, st.keys, st.segs); err != nil {
 		return err
@@ -250,8 +268,16 @@ func (st *hStage) Add(h *relation.Relation) error {
 	} else if !h.Schema.Equal(st.rel.Schema) {
 		return fmt.Errorf("core: sync: H block schema %s differs from stream schema %s", h.Schema, st.rel.Schema)
 	}
-	st.rel.Tuples = append(st.rel.Tuples, h.Tuples...)
+	// Account the block (bytes and pool membership) before the budget check:
+	// an over-budget charge stays counted until the failed query's Discard
+	// releases it, and the rejected block still gets recycled there.
+	n := h.MemBytes()
+	st.bytes += n
 	st.pool = append(st.pool, h)
+	if err := st.budget.charge(n); err != nil {
+		return err
+	}
+	st.rel.Tuples = append(st.rel.Tuples, h.Tuples...)
 	return nil
 }
 
@@ -263,12 +289,17 @@ func (st *hStage) Rows() int {
 	return st.rel.Len()
 }
 
-// Discard drops the staged rows and returns block storage to the decode
-// pool; the stage must not be used afterwards.
+// Discard drops the staged rows, releases their budget charge and returns
+// block storage to the decode pool; the stage must not be used afterwards.
+// Commit paths also land here (via their defers), which is correct: committed
+// aggregates fold into X's existing rows in place, so the staged copies are
+// no longer held either way.
 func (st *hStage) Discard() {
 	for _, b := range st.pool {
 		relation.Recycle(b)
 	}
+	st.budget.release(st.bytes)
+	st.bytes = 0
 	st.pool, st.rel = nil, nil
 }
 
@@ -347,6 +378,9 @@ func (m *merger) MergeLocal(xl *relation.Relation) error {
 		switch len(rows) {
 		case 0:
 			nrow := lrow.Clone()
+			if err := m.budget.charge(nrow.MemBytes()); err != nil {
+				return err
+			}
 			m.x.Tuples = append(m.x.Tuples, nrow)
 			m.index.Add(nrow, len(m.x.Tuples)-1)
 		case 1:

@@ -91,6 +91,26 @@ var (
 	CoordMergeWorkers = Default.Gauge("skalla_coord_merge_workers",
 		"Concurrent per-site stage commits currently running in the coordinator's sync-merge.")
 
+	// Multi-tenant query server (internal/server sessions; admission control
+	// and the prepared-plan cache live in internal/core but serve the same
+	// deployment surface, so the whole family shares the server layer name).
+	ServerActiveSessions = Default.Gauge("skalla_server_active_sessions",
+		"Client sessions currently connected to the coordinator's query server.")
+	ServerSessions = Default.Counter("skalla_server_sessions_total",
+		"Client sessions accepted by the coordinator's query server since start.")
+	ServerQueries = Default.CounterVec("skalla_server_queries_total",
+		"Statements finished by the query server, by terminal status (ok, error, rejected, shutdown).",
+		"status")
+	ServerQueuedQueries = Default.Gauge("skalla_server_queued_queries",
+		"Queries admitted to the wait queue and not yet executing.")
+	ServerAdmissionRejects = Default.Counter("skalla_server_admission_rejects_total",
+		"Queries rejected because the admission wait queue was full.")
+	ServerPlanCacheHits = Default.Counter("skalla_server_plan_cache_hits_total",
+		"Prepared-plan cache hits (parse+optimize skipped, compiled plan reused).")
+	ServerPlanCacheMisses = Default.CounterVec("skalla_server_plan_cache_misses_total",
+		"Prepared-plan cache misses, by reason (cold = not cached, generation = catalog generation moved and the stale entry was dropped).",
+		"reason")
+
 	// Planner (internal/plan, recorded by internal/core at compile time).
 	PlanRulesApplied = Default.CounterVec("skalla_plan_rule_applied_total",
 		"Optimizer rules applied to compiled plans, by rule name (auto-mode candidates are not counted; only the chosen plan is).",

@@ -236,9 +236,14 @@ type QueryProfile struct {
 	QueryID string
 	Start   time.Time
 	Elapsed time.Duration
-	Err     string `json:",omitempty"`
-	Plan    ProfilePlan
-	Rounds  []RoundProfile
+	// QueueTime is how long the query waited in the coordinator's admission
+	// queue before execution started (zero when admission control is off or
+	// a slot was free immediately). Not included in Elapsed, which covers the
+	// execution span only.
+	QueueTime time.Duration `json:",omitempty"`
+	Err       string        `json:",omitempty"`
+	Plan      ProfilePlan
+	Rounds    []RoundProfile
 }
 
 // BytesDown returns the query's total coordinator→sites bytes (successful

@@ -1,0 +1,33 @@
+package relation
+
+import "testing"
+
+func TestMemBytes(t *testing.T) {
+	var nilRel *Relation
+	if got := nilRel.MemBytes(); got != 0 {
+		t.Fatalf("nil relation MemBytes = %d, want 0", got)
+	}
+
+	schema := MustSchema(
+		Column{Name: "g", Kind: KindInt},
+		Column{Name: "s", Kind: KindString},
+	)
+	r := New(schema)
+	if got, want := r.MemBytes(), int64(2*TupleMemBytes); got != want {
+		t.Fatalf("empty relation MemBytes = %d, want %d (schema headers)", got, want)
+	}
+
+	r.MustAppend(Tuple{NewInt(1), NewString("abcd")})
+	perRow := int64(TupleMemBytes + 2*ValueMemBytes + 4) // header + 2 values + "abcd"
+	if got, want := r.MemBytes(), int64(2*TupleMemBytes)+perRow; got != want {
+		t.Fatalf("1-row MemBytes = %d, want %d", got, want)
+	}
+	if got := r.Tuples[0].MemBytes(); got != perRow {
+		t.Fatalf("Tuple.MemBytes = %d, want %d", got, perRow)
+	}
+
+	r.MustAppend(Tuple{NewInt(2), NewString("")})
+	if got, want := r.MemBytes(), int64(2*TupleMemBytes)+perRow+int64(TupleMemBytes+2*ValueMemBytes); got != want {
+		t.Fatalf("2-row MemBytes = %d, want %d", got, want)
+	}
+}

@@ -74,6 +74,44 @@ func New(schema Schema) *Relation {
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.Tuples) }
 
+// Approximate in-memory cost of one Value (Kind + Int + Float + string
+// header, padded) and of one Tuple's slice header. Used by MemBytes and by
+// the coordinator's memory budgeting; the numbers track the 64-bit layout of
+// the structs, not exact allocator accounting.
+const (
+	// ValueMemBytes estimates one Value's in-memory size.
+	ValueMemBytes = 48
+	// TupleMemBytes estimates one Tuple's slice-header overhead.
+	TupleMemBytes = 24
+)
+
+// MemBytes estimates the relation's in-memory footprint in bytes: slice
+// headers plus per-value storage plus string payloads. It is an O(rows)
+// estimate for memory budgeting (admission control charges it at staging and
+// merge boundaries), not an exact allocator measurement.
+func (r *Relation) MemBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	n := int64(TupleMemBytes) * int64(len(r.Schema))
+	for _, t := range r.Tuples {
+		n += t.MemBytes()
+	}
+	return n
+}
+
+// MemBytes estimates one tuple's in-memory footprint (slice header, values,
+// string payloads), matching Relation.MemBytes per-row accounting.
+func (t Tuple) MemBytes() int64 {
+	n := int64(TupleMemBytes) + ValueMemBytes*int64(len(t))
+	for i := range t {
+		if t[i].Kind == KindString {
+			n += int64(len(t[i].Str))
+		}
+	}
+	return n
+}
+
 // Append adds a tuple after checking arity.
 func (r *Relation) Append(t Tuple) error {
 	if len(t) != len(r.Schema) {

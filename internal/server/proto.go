@@ -1,0 +1,103 @@
+// Package server exposes a Skalla coordinator as a long-lived multi-tenant
+// query server: many concurrent client sessions over one TCP listener, each
+// session submitting statements and receiving result rows plus execution
+// stats. The wire protocol is deliberately small — one length-prefixed frame
+// per message, with result rows streamed in the relation wire codec — so a
+// thin client in any language can speak it.
+//
+// The package knows nothing about parsing or planning: the facade supplies a
+// Handler that evaluates one statement (the statement grammars live in the
+// root package, which this package must not import).
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Frame kinds. A client sends a query frame and reads exactly one result or
+// error frame back; a result frame is followed by the result rows as one
+// relation wire-codec frame (see internal/relation).
+const (
+	frameQuery  = 0x01 // client → server: statement text
+	frameResult = 0x81 // server → client: ResultInfo JSON, then codec frame
+	frameError  = 0x82 // server → client: ErrorInfo JSON
+)
+
+// maxFramePayload bounds a control frame's payload (statement text or JSON
+// envelope) so a corrupt length prefix cannot drive an unbounded allocation.
+// Result rows are not subject to this bound: they travel in the relation
+// codec's own frames after the result envelope.
+const maxFramePayload = 1 << 20
+
+// ResultInfo is the JSON envelope of a successful statement: the execution
+// stats a client gets alongside the rows. The rows themselves follow as one
+// relation wire-codec frame.
+type ResultInfo struct {
+	// QueryID is the coordinator-assigned query identifier
+	// ("s<session>-<seq>"); /debug/queries profiles carry the same ID.
+	QueryID string `json:"query_id"`
+	// Rows is the result row count (the codec frame that follows holds
+	// exactly this many rows).
+	Rows int `json:"rows"`
+	// ElapsedNS is the statement's end-to-end evaluation time at the server,
+	// excluding admission queue time.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// QueueNS is the time the statement waited in the admission queue before
+	// an execution slot freed (0 when it ran immediately).
+	QueueNS int64 `json:"queue_ns,omitempty"`
+	// CacheHit reports whether the statement reused a prepared plan from the
+	// coordinator's plan cache (parse and optimize were skipped).
+	CacheHit bool `json:"cache_hit,omitempty"`
+}
+
+// ErrorInfo is the JSON envelope of a failed statement.
+type ErrorInfo struct {
+	// Code classifies the failure: "parse" (statement rejected before
+	// planning), "rejected" (admission queue full — back off and resubmit),
+	// "mem_budget" (query exceeded the per-query memory budget), "shutdown"
+	// (server is draining), "internal" (anything else).
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeFrame writes one frame: kind byte, uint32 big-endian payload length,
+// payload.
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, enforcing the payload bound.
+func readFrame(r io.Reader) (kind byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("server: frame payload %d exceeds limit %d", n, maxFramePayload)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// writeJSONFrame marshals v and writes it as a frame of the given kind.
+func writeJSONFrame(w io.Writer, kind byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, kind, payload)
+}

@@ -4,7 +4,9 @@
 # coordinator, and assert /healthz and /metrics look right. A second
 # coordinator run in REPL mode then exercises the query profiler: after a
 # query, /debug/queries must list a well-formed profile with a non-empty
-# plan fingerprint, and its /trace export must be trace-event JSON.
+# plan fingerprint, and its /trace export must be trace-event JSON. A third
+# coordinator run in -serve mode takes two concurrent skalla-client sessions
+# and must report a plan-cache hit in /metrics before draining on SIGINT.
 #
 # Failure discipline: set -eu plus explicit exit-code checks on every stage,
 # and a liveness probe (kill -0) on the site daemon before each assertion —
@@ -17,7 +19,8 @@ workdir=$(mktemp -d)
 site_pid=""
 site_log=""
 coord_pid=""
-trap 'kill $site_pid $coord_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+serve_pid=""
+trap 'kill $site_pid $coord_pid $serve_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 fail() {
   echo "SMOKE FAILURE: $1" >&2
@@ -142,6 +145,56 @@ printf '\\q\n' >&3
 exec 3>&-
 wait $coord_pid 2>/dev/null || true
 coord_pid=""
+
+echo "==> start coordinator (serve mode)"
+serve_log="$workdir/serve.log"
+"$workdir/bin/skalla-coordinator" -sites 127.0.0.1:7471 -data "$workdir/tpcr" \
+  -serve 127.0.0.1:7473 -max-concurrent 4 -obs-addr 127.0.0.1:9473 \
+  >"$serve_log" 2>&1 &
+serve_pid=$!
+
+serve_ready=""
+for _ in $(seq 1 50); do
+  kill -0 "$serve_pid" 2>/dev/null || { cat "$serve_log" >&2; fail "query server died during startup"; }
+  # /healthz stays 503 until the listener is accepting sessions.
+  if curl -sf http://127.0.0.1:9473/healthz >/dev/null 2>&1; then
+    serve_ready=yes
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$serve_ready" ] || fail "query server never became ready"
+
+echo "==> run concurrent client sessions"
+stmt='base TPCR key NationKey
+op B.NationKey = R.NationKey :: count(*) as items'
+# Warm the plan cache with one serial session, then two concurrent sessions
+# must both reuse the prepared plan.
+"$workdir/bin/skalla-client" -addr 127.0.0.1:7473 -q "$stmt" \
+  >"$workdir/client0.out" 2>&1 || { cat "$workdir/client0.out" >&2; fail "warm client session failed"; }
+"$workdir/bin/skalla-client" -addr 127.0.0.1:7473 -q "$stmt" \
+  >"$workdir/client1.out" 2>&1 &
+client1_pid=$!
+"$workdir/bin/skalla-client" -addr 127.0.0.1:7473 -q "$stmt" \
+  >"$workdir/client2.out" 2>&1 &
+client2_pid=$!
+wait $client1_pid || { cat "$workdir/client1.out" >&2; fail "client session 1 failed"; }
+wait $client2_pid || { cat "$workdir/client2.out" >&2; fail "client session 2 failed"; }
+grep -q 'group(s):' "$workdir/client1.out" || fail "client 1 printed no result"
+grep -q 'plan cache hit' "$workdir/client1.out" || fail "client 1 missed the plan cache"
+grep -q 'plan cache hit' "$workdir/client2.out" || fail "client 2 missed the plan cache"
+
+echo "==> check server metrics"
+serve_metrics=$(curl -s http://127.0.0.1:9473/metrics) || fail "server metrics scrape failed"
+echo "$serve_metrics" | grep '^skalla_server_plan_cache_hits_total' \
+  | grep -qv ' 0$' || fail "plan cache hits not counted: $(echo "$serve_metrics" | grep plan_cache)"
+echo "$serve_metrics" | grep '^skalla_server_sessions_total' \
+  | grep -qv ' 0$' || fail "client sessions not counted"
+
+echo "==> drain query server"
+kill -INT "$serve_pid"
+wait "$serve_pid" || { cat "$serve_log" >&2; fail "query server exited non-zero after SIGINT"; }
+serve_pid=""
 
 echo "==> shut down"
 kill $site_pid

@@ -273,17 +273,43 @@ type Cluster struct {
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
-	catalog    *distrib.Catalog
-	net        stats.NetModel
-	serialized bool
-	blockRows  int
-	traceTo    io.Writer
-	retry      core.RetryPolicy
-	workers    int
-	sel        plan.Selection
-	selSet     bool
-	selErr     error
-	slowQuery  time.Duration
+	catalog       *distrib.Catalog
+	net           stats.NetModel
+	serialized    bool
+	blockRows     int
+	traceTo       io.Writer
+	retry         core.RetryPolicy
+	workers       int
+	sel           plan.Selection
+	selSet        bool
+	selErr        error
+	slowQuery     time.Duration
+	planCache     int
+	admit         bool
+	maxConcurrent int
+	queueDepth    int
+	memBudget     int64
+}
+
+// configure applies the per-coordinator settings shared by every cluster
+// constructor.
+func (cfg *clusterConfig) configure(coord *core.Coordinator) {
+	coord.SetRowBlocking(cfg.blockRows)
+	coord.SetRetryPolicy(cfg.retry)
+	coord.SetMergeWorkers(cfg.workers)
+	coord.SetSlowQueryThreshold(cfg.slowQuery)
+	if cfg.traceTo != nil {
+		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
+	}
+	if cfg.planCache > 0 {
+		coord.SetPlanCache(cfg.planCache)
+	}
+	if cfg.admit {
+		coord.SetAdmission(cfg.maxConcurrent, cfg.queueDepth)
+	}
+	if cfg.memBudget > 0 {
+		coord.SetQueryMemBudget(cfg.memBudget)
+	}
 }
 
 // WithCatalog attaches distribution knowledge, enabling the
@@ -344,6 +370,33 @@ func WithSlowQuery(d time.Duration) ClusterOption {
 	return func(c *clusterConfig) { c.slowQuery = d }
 }
 
+// WithPlanCache installs a prepared-plan cache of the given capacity on the
+// coordinator: repeated statement texts reuse their compiled plan, skipping
+// parse and optimize (in auto mode, the whole candidate enumeration). Entries
+// are invalidated when the catalog generation moves. Zero or negative
+// disables caching (the default).
+func WithPlanCache(capacity int) ClusterOption {
+	return func(c *clusterConfig) { c.planCache = capacity }
+}
+
+// WithMaxConcurrent bounds how many queries the coordinator executes at once:
+// up to n run, up to 4n more wait in the admission queue (the wait is
+// recorded in the query profile), and anything beyond that fails immediately
+// with ErrAdmissionReject. n <= 0 bounds at GOMAXPROCS. Without this option
+// admission control is off.
+func WithMaxConcurrent(n int) ClusterOption {
+	return func(c *clusterConfig) { c.admit, c.maxConcurrent, c.queueDepth = true, n, -1 }
+}
+
+// WithQueryMemBudget bounds the coordinator-side memory one query may hold
+// (staged sub-aggregate blocks plus base-result growth, estimated at staging
+// and merge boundaries). A query crossing the budget fails with
+// ErrQueryMemBudget while concurrent queries keep running. Zero or negative
+// disables the budget (the default).
+func WithQueryMemBudget(bytes int64) ClusterOption {
+	return func(c *clusterConfig) { c.memBudget = bytes }
+}
+
 // WithPlanMode sets the cluster's default rule selection from the textual
 // plan-mode syntax: "auto" (cost-model-driven per query), "none", "all", or
 // "rules=<name>,..." (see PlannerRules). ExecuteSelected and ExplainSelected
@@ -400,13 +453,7 @@ func NewLocalCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	coord.SetRowBlocking(cfg.blockRows)
-	coord.SetRetryPolicy(cfg.retry)
-	coord.SetMergeWorkers(cfg.workers)
-	coord.SetSlowQueryThreshold(cfg.slowQuery)
-	if cfg.traceTo != nil {
-		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
-	}
+	cfg.configure(coord)
 	return &Cluster{coord: coord, sites: sites, loaders: loaders, sel: cfg.sel}, nil
 }
 
@@ -436,13 +483,7 @@ func Connect(addrs []string, opts ...ClusterOption) (*Cluster, error) {
 		cl.Close()
 		return nil, err
 	}
-	coord.SetRowBlocking(cfg.blockRows)
-	coord.SetRetryPolicy(cfg.retry)
-	coord.SetMergeWorkers(cfg.workers)
-	coord.SetSlowQueryThreshold(cfg.slowQuery)
-	if cfg.traceTo != nil {
-		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
-	}
+	cfg.configure(coord)
 	cl.coord = coord
 	return cl, nil
 }
@@ -629,13 +670,7 @@ func NewTieredLocalCluster(leaves, relays int, opts ...ClusterOption) (*Cluster,
 	if err != nil {
 		return nil, err
 	}
-	coord.SetRowBlocking(cfg.blockRows)
-	coord.SetRetryPolicy(cfg.retry)
-	coord.SetMergeWorkers(cfg.workers)
-	coord.SetSlowQueryThreshold(cfg.slowQuery)
-	if cfg.traceTo != nil {
-		coord.SetTracer(core.NewWriterTracer(cfg.traceTo))
-	}
+	cfg.configure(coord)
 	return &Cluster{coord: coord, sites: tier, loaders: loaders, sel: cfg.sel}, nil
 }
 
