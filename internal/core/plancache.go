@@ -20,10 +20,9 @@ import (
 // a new identity). Compiled plans are immutable during execution, so one
 // cached *plan.Plan may be executed by many concurrent sessions.
 type planCache struct {
-	mu  sync.Mutex
-	cap int
-	lru list.List // of *planEntry, front = most recent
-	//skallavet:allow stringkey -- cache keyed by statement text: one lookup per query, not per tuple
+	mu      sync.Mutex
+	cap     int
+	lru     list.List // of *planEntry, front = most recent
 	entries map[planKey]*list.Element
 }
 

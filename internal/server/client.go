@@ -53,10 +53,13 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
 }
 
-// Close ends the session.
+// Close ends the session. It is safe to call while a Query is in flight —
+// closing the connection unblocks the pending read, and the server treats the
+// disconnect as abandonment, cancelling the statement (releasing its admission
+// queue slot if it had not started executing). It deliberately does not take
+// the statement mutex: conn is set once at dial time, and net.Conn.Close is
+// safe against concurrent reads and writes.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.conn.Close()
 }
 

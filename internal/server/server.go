@@ -185,7 +185,13 @@ func (s *Server) handle(conn net.Conn, sess int64) {
 	obs.ServerSessions.Inc()
 	obs.ServerActiveSessions.Add(1)
 	log.Debug("session open")
+	// sessCtx parents every statement this session evaluates; it is canceled
+	// the moment the connection drops, so a statement parked in the
+	// coordinator's admission queue releases its queue slot instead of
+	// executing for a client that already went away.
+	sessCtx, cancel := context.WithCancel(s.baseCtx)
 	defer func() {
+		cancel()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -193,28 +199,55 @@ func (s *Server) handle(conn net.Conn, sess int64) {
 		obs.ServerActiveSessions.Add(-1)
 		log.Debug("session closed")
 	}()
-	br := bufio.NewReader(conn)
+	// Frames are read by a dedicated goroutine so a disconnect is noticed
+	// while a statement is still evaluating (the protocol is one query frame,
+	// one response — during evaluation the client sends nothing, so a read
+	// completing early means EOF or a corrupt stream). The goroutine is
+	// bounded by sessCtx and unblocked by the deferred conn.Close.
+	type frame struct {
+		kind    byte
+		payload []byte
+	}
+	frames := make(chan frame)
+	go func() {
+		br := bufio.NewReader(conn)
+		for {
+			kind, payload, err := readFrame(br)
+			if err != nil {
+				cancel() // disconnect (or corrupt stream): release queued statements
+				return
+			}
+			select {
+			case frames <- frame{kind: kind, payload: payload}:
+			case <-sessCtx.Done():
+				return
+			}
+		}
+	}()
 	for seq := int64(1); ; seq++ {
-		kind, payload, err := readFrame(br)
-		if err != nil {
+		var f frame
+		select {
+		case f = <-frames:
+		case <-sessCtx.Done():
 			return // session ended or corrupt stream
 		}
-		if kind != frameQuery {
-			log.Warn("unexpected frame kind", "kind", fmt.Sprintf("0x%02x", kind))
+		if f.kind != frameQuery {
+			log.Warn("unexpected frame kind", "kind", fmt.Sprintf("0x%02x", f.kind))
 			return
 		}
 		qid := fmt.Sprintf("s%d-%d", sess, seq)
-		if err := s.serveQuery(conn, qid, string(payload)); err != nil {
+		if err := s.serveQuery(sessCtx, conn, qid, string(f.payload)); err != nil {
 			log.Warn("response write failed", "query", qid, "err", err)
 			return
 		}
 	}
 }
 
-// serveQuery evaluates one statement and writes its response frames. The
-// returned error is a connection-level write failure; evaluation failures are
-// reported to the client in an error frame and are not errors here.
-func (s *Server) serveQuery(conn net.Conn, qid, stmt string) error {
+// serveQuery evaluates one statement under the session's context and writes
+// its response frames. The returned error is a connection-level write
+// failure; evaluation failures are reported to the client in an error frame
+// and are not errors here.
+func (s *Server) serveQuery(ctx context.Context, conn net.Conn, qid, stmt string) error {
 	s.mu.Lock()
 	draining := s.draining
 	if !draining {
@@ -229,7 +262,7 @@ func (s *Server) serveQuery(conn net.Conn, qid, stmt string) error {
 	}
 	defer s.inflight.Done()
 
-	ctx := obs.WithQueryID(s.baseCtx, qid)
+	ctx = obs.WithQueryID(ctx, qid)
 	start := time.Now()
 	res, err := s.h(ctx, stmt)
 	if err != nil {

@@ -100,7 +100,6 @@ func appendOnly(got, prev []byte) bool {
 // fieldsByStruct groups the fingerprint's "Struct.Field type" lines by struct
 // name, dropping '#' comments and blank lines.
 func fieldsByStruct(b []byte) map[string][]string {
-	//skallavet:allow stringkey -- fingerprint parsing in a test, runs once
 	out := map[string][]string{}
 	for _, line := range bytes.Split(b, []byte("\n")) {
 		trimmed := bytes.TrimSpace(line)

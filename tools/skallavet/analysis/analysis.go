@@ -1,18 +1,20 @@
 // Package analysis is a minimal, dependency-free re-implementation of the
 // golang.org/x/tools/go/analysis core: just enough surface (Analyzer, Pass,
-// diagnostics, directive-based suppression) to write Skalla's invariant
-// checkers against, without pulling an external module into the build. The
-// API deliberately mirrors x/tools so the analyzers read familiarly and
-// could be ported onto the real framework if a vendored copy ever becomes
-// available.
+// diagnostics, directive-based suppression, serialized object facts) to write
+// Skalla's invariant checkers against, without pulling an external module
+// into the build. The API deliberately mirrors x/tools so the analyzers read
+// familiarly and could be ported onto the real framework if a vendored copy
+// ever becomes available.
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"strings"
+	"sync"
 )
 
 // Analyzer describes one invariant checker.
@@ -24,6 +26,11 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// FactTypes lists prototypes of the facts the analyzer exports. A
+	// non-empty list makes the driver run the analyzer on dependency
+	// packages too (facts-only, diagnostics discarded), so importers can
+	// see across the package boundary.
+	FactTypes []Fact
 }
 
 // Pass carries one package's syntax and type information to an analyzer.
@@ -37,11 +44,13 @@ type Pass struct {
 	// Info is the type information for Files.
 	Info *types.Info
 	// Dir is the directory containing the package's source files; analyzers
-	// that read side files (e.g. the wirecompat golden schema) resolve them
-	// against it.
+	// that read side files (e.g. the wirecompat golden schema or the
+	// lockorder hierarchy) resolve them against it.
 	Dir string
 
-	report func(Diagnostic)
+	report      func(Diagnostic)
+	exported    map[string]json.RawMessage
+	importFacts map[string]PackageFacts
 }
 
 // Diagnostic is one reported violation.
@@ -82,27 +91,75 @@ type Package struct {
 	Dir   string
 }
 
+// Config controls one runner invocation beyond the package itself.
+type Config struct {
+	// ImportFacts maps dependency package paths to their exported facts
+	// (decoded from their vetx files).
+	ImportFacts map[string]PackageFacts
+	// FactsOnly suppresses diagnostics: the run exists to compute this
+	// package's facts for its importers (the driver's VetxOnly passes).
+	FactsOnly bool
+	// AuditAllows reports stale //skallavet:allow directives — directives
+	// none of whose named rules produced a diagnostic on their line — as
+	// findings, in addition to the surviving diagnostics.
+	AuditAllows bool
+	// ExtraFiles are package-directory Go files excluded from this build
+	// (build-tag-excluded files, and _test.go files in a non-test variant).
+	// Their directives cannot suppress anything — the analyzers never see
+	// those lines — but the audit scans them so a suppression rotting in an
+	// excluded file is flagged instead of silently waiting to mask a hit
+	// when the file rejoins the build.
+	ExtraFiles []string
+}
+
 // Run applies analyzers to one package and returns the surviving findings,
 // with //skallavet:allow suppressions already applied and results ordered by
-// position.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+// position, plus the package's exported facts for its vetx file.
+//
+// Analyzers run concurrently — they are independent given the shared
+// read-only package — and their diagnostics and facts are merged
+// deterministically afterwards.
+func Run(pkg *Package, analyzers []*Analyzer, cfg Config) ([]Finding, PackageFacts, error) {
 	allow := collectAllows(pkg.Fset, pkg.Files)
+
+	type result struct {
+		diags []Diagnostic
+		facts map[string]json.RawMessage
+		err   error
+	}
+	results := make([]result, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        pkg.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				Info:        pkg.Info,
+				Dir:         pkg.Dir,
+				importFacts: cfg.ImportFacts,
+			}
+			pass.report = func(d Diagnostic) { results[i].diags = append(results[i].diags, d) }
+			results[i].err = a.Run(pass)
+			results[i].facts = pass.exported
+		}(i, a)
+	}
+	wg.Wait()
+
 	var out []Finding
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			Dir:      pkg.Dir,
+	var facts PackageFacts
+	for i, a := range analyzers {
+		if err := results[i].err; err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
-		var diags []Diagnostic
-		pass.report = func(d Diagnostic) { diags = append(diags, d) }
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		facts = mergeFacts(facts, a.Name, results[i].facts)
+		if cfg.FactsOnly {
+			continue
 		}
-		for _, d := range diags {
+		for _, d := range results[i].diags {
 			posn := pkg.Fset.Position(d.Pos)
 			if allow.allows(a.Name, posn) {
 				continue
@@ -110,8 +167,12 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			out = append(out, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
 		}
 	}
+	if cfg.AuditAllows && !cfg.FactsOnly {
+		out = append(out, auditAllows(allow, analyzers)...)
+		out = append(out, auditExcludedFiles(cfg.ExtraFiles)...)
+	}
 	sortFindings(out)
-	return out, nil
+	return out, facts, nil
 }
 
 func sortFindings(fs []Finding) {

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"os"
 	"strings"
 )
 
@@ -23,15 +24,37 @@ type lineKey struct {
 	line int
 }
 
-type allowSet map[lineKey]map[string]bool
+// directive is one parsed //skallavet:allow comment. used records, per rule
+// name, whether the directive suppressed at least one diagnostic this run —
+// the audit mode's staleness signal.
+type directive struct {
+	pos   token.Position
+	rules []string
+	used  map[string]bool
+}
 
-func (s allowSet) allows(rule string, pos token.Position) bool {
-	for _, line := range [2]int{pos.Line, pos.Line - 1} {
-		if rules, ok := s[lineKey{pos.Filename, line}]; ok && (rules[rule] || rules["all"]) {
+func (d *directive) allowsRule(rule string) bool {
+	for _, r := range d.rules {
+		if r == rule || r == "all" {
 			return true
 		}
 	}
 	return false
+}
+
+type allowSet map[lineKey][]*directive
+
+func (s allowSet) allows(rule string, pos token.Position) bool {
+	hit := false
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, d := range s[lineKey{pos.Filename, line}] {
+			if d.allowsRule(rule) {
+				d.used[rule] = true
+				hit = true
+			}
+		}
+	}
+	return hit
 }
 
 // collectAllows gathers every //skallavet:allow directive in the files.
@@ -54,16 +77,91 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 					continue
 				}
 				posn := fset.Position(c.Pos())
+				d := &directive{pos: posn, rules: splitRules(rest), used: map[string]bool{}}
 				key := lineKey{posn.Filename, posn.Line}
-				if out[key] == nil {
-					out[key] = map[string]bool{}
+				out[key] = append(out[key], d)
+			}
+		}
+	}
+	return out
+}
+
+func splitRules(list string) []string {
+	return strings.FieldsFunc(list, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t'
+	})
+}
+
+// auditAllows reports the stale suppressions: for every directive, each named
+// rule that is part of this run's analyzer set but produced no diagnostic on
+// the directive's lines. Dead suppressions rot fast — the code they excused
+// moves or is fixed, and the leftover directive will silently mask the next
+// genuine hit on that line.
+func auditAllows(allow allowSet, analyzers []*Analyzer) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, ds := range allow {
+		for _, d := range ds {
+			for _, rule := range d.rules {
+				if rule == "all" {
+					// A blanket allow is live if it suppressed anything.
+					if len(d.used) == 0 {
+						out = append(out, Finding{
+							Analyzer: "auditallow",
+							Pos:      d.pos,
+							Message:  "stale suppression: //skallavet:allow all matched no diagnostic on this line; delete it",
+						})
+					}
+					continue
 				}
-				for _, rule := range strings.FieldsFunc(rest, func(r rune) bool {
-					return r == ',' || r == ' ' || r == '\t'
-				}) {
-					out[key][rule] = true
+				if !known[rule] {
+					out = append(out, Finding{
+						Analyzer: "auditallow",
+						Pos:      d.pos,
+						Message:  "stale suppression: " + rule + " is not a skallavet rule; delete or fix the directive",
+					})
+					continue
+				}
+				if !d.used[rule] {
+					out = append(out, Finding{
+						Analyzer: "auditallow",
+						Pos:      d.pos,
+						Message:  "stale suppression: rule " + rule + " no longer fires on this line; delete the //skallavet:allow",
+					})
 				}
 			}
+		}
+	}
+	return out
+}
+
+// auditExcludedFiles scans package-directory files excluded from the current
+// build (build-tag-excluded files; _test.go files are covered by the test
+// variant) for allow directives. Such a directive can suppress nothing today
+// — the analyzers never see those lines — so it is definitionally stale, and
+// left in place it would silently start masking diagnostics the moment the
+// file rejoins the build. The scan is textual: an excluded file may not even
+// parse for this platform.
+func auditExcludedFiles(paths []string) []Finding {
+	var out []Finding
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, allowPrefix)
+			if idx < 0 {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: "auditallow",
+				Pos:      token.Position{Filename: path, Line: i + 1, Column: idx + 1},
+				Message:  "suppression in a build-excluded file: the rule cannot fire here, and the directive will mask a real hit if the file rejoins the build; delete it",
+			})
 		}
 	}
 	return out

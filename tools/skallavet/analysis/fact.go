@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// Fact is a serializable unit of cross-package knowledge an analyzer attaches
+// to a package-level object (today: functions and methods). Facts computed
+// while analyzing a package are exported alongside the package's vetx file
+// and become visible — via Pass.ImportObjectFact — to the same analyzer when
+// it later analyzes an importing package. The mechanism mirrors
+// golang.org/x/tools/go/analysis facts, with JSON in place of gob: the
+// payload rides inside the vet result cache, so it must be deterministic.
+//
+// Implementations must be JSON-marshalable pointers.
+type Fact interface {
+	// AFact marks the type as a fact; it is never called.
+	AFact()
+}
+
+// PackageFacts is the serialized fact set of one package:
+// analyzer name -> object path -> fact payload. Object paths are
+// "Func" for package-level functions and "Recv.Method" for methods
+// (pointerness of the receiver is normalized away).
+type PackageFacts map[string]map[string]json.RawMessage
+
+// factFile is the on-disk shape of a vetx facts payload.
+type factFile struct {
+	Version int          `json:"version"`
+	Facts   PackageFacts `json:"facts,omitempty"`
+}
+
+// factFileVersion guards the vetx payload shape; bump on incompatible change
+// (the driver also bumps its -V version, which busts the vet result cache).
+const factFileVersion = 2
+
+// EncodeFacts serializes a package's facts for its vetx file. Deterministic:
+// map iteration is sorted by the JSON encoder for the nested maps.
+func EncodeFacts(facts PackageFacts) ([]byte, error) {
+	return json.Marshal(&factFile{Version: factFileVersion, Facts: facts})
+}
+
+// DecodeFacts parses a vetx facts payload. Empty input (the pre-facts vetx
+// format, or a dependency analyzed with no fact-producing analyzers) decodes
+// to nil facts.
+func DecodeFacts(data []byte) (PackageFacts, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var f factFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("facts payload: %w", err)
+	}
+	if f.Version != factFileVersion {
+		// A vetx written by a different tool generation: ignore rather than
+		// fail — the vet cache key (driver version) makes this unreachable in
+		// practice, but a stale build cache should degrade, not crash.
+		return nil, nil
+	}
+	return f.Facts, nil
+}
+
+// ObjectPath returns the stable intra-package path facts are keyed by, or ""
+// for objects facts cannot attach to (locals, imported names).
+func ObjectPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		// Facts attach to functions only for now; extend here if an analyzer
+		// ever needs facts on types or vars.
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Name()
+		}
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return fn.Name()
+	}
+	rt := recv.Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name() + "." + fn.Name()
+}
+
+// ExportObjectFact records a fact about obj, which must belong to the package
+// under analysis. The fact is visible to ImportObjectFact in importing
+// packages once this package's vetx is written.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != p.Pkg.Path() {
+		return
+	}
+	path := ObjectPath(obj)
+	if path == "" {
+		return
+	}
+	data, err := json.Marshal(fact)
+	if err != nil {
+		return
+	}
+	if p.exported == nil {
+		p.exported = map[string]json.RawMessage{}
+	}
+	p.exported[path] = data
+}
+
+// ImportObjectFact loads the fact this analyzer recorded about obj into fact
+// (a pointer), reporting whether one exists. Objects of the package under
+// analysis resolve against facts exported earlier in this run; imported
+// objects resolve against their package's vetx facts.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := ObjectPath(obj)
+	if path == "" {
+		return false
+	}
+	var data json.RawMessage
+	if obj.Pkg().Path() == p.Pkg.Path() {
+		data = p.exported[path]
+	} else if pf := p.importFacts[obj.Pkg().Path()]; pf != nil {
+		data = pf[p.Analyzer.Name][path]
+	}
+	if data == nil {
+		return false
+	}
+	return json.Unmarshal(data, fact) == nil
+}
+
+// mergeFacts folds one analyzer's exported facts into the package fact set,
+// inserting keys in sorted order so the vetx payload is deterministic.
+func mergeFacts(dst PackageFacts, analyzer string, facts map[string]json.RawMessage) PackageFacts {
+	if len(facts) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = PackageFacts{}
+	}
+	m := dst[analyzer]
+	if m == nil {
+		m = map[string]json.RawMessage{}
+		dst[analyzer] = m
+	}
+	keys := make([]string, 0, len(facts))
+	for k := range facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m[k] = facts[k]
+	}
+	return dst
+}

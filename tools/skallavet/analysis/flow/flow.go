@@ -1,0 +1,403 @@
+// Package flow builds intraprocedural control-flow graphs over go/ast and
+// answers the reachability questions Skalla's dataflow analyzers need:
+//
+//   - MayReach: can execution flow from node A to a node matching P without
+//     first passing a node matching K? (use-after-recycle, lock-held ranges)
+//   - MustReach: does every path from node A hit a node matching P before a
+//     boundary or function exit? (stage commit/discard obligations)
+//   - ForwardMay: classic forward may-analysis with per-branch merging
+//     (the set of locks that may be held at each program point).
+//
+// Granularity is the statement/expression level: each basic block holds the
+// AST nodes evaluated in it, in order. Compound statements contribute their
+// header parts (init, condition, tag) to the enclosing block; their bodies
+// become separate blocks. Three statement kinds stay opaque single nodes:
+// DeferStmt and GoStmt (their calls do not run here — a deferred Unlock must
+// not end a lock-held range), and RangeStmt (standing in the loop-header
+// block for the per-iteration binding). Function literals are likewise never
+// entered — analyzers build a separate Graph per FuncLit body.
+//
+// The builder is conservative where Go is rare: goto edges go to function
+// exit, so may-analysis over-approximates and must-analysis.
+package flow
+
+import "go/ast"
+
+// Block is a basic block: a maximal sequence of nodes with single-entry,
+// single-exit control flow, plus successor edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+
+	blockOf   map[ast.Node]*Block
+	nodeIndex map[ast.Node]int
+	rangeBody map[*ast.RangeStmt]*Block
+}
+
+// New builds the CFG of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{
+		blockOf:   map[ast.Node]*Block{},
+		nodeIndex: map[ast.Node]int{},
+		rangeBody: map[*ast.RangeStmt]*Block{},
+	}
+	b := &builder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, g.Exit)
+	return g
+}
+
+// BlockOf returns the block containing n, or nil if n is not a CFG node.
+func (g *Graph) BlockOf(n ast.Node) *Block { return g.blockOf[n] }
+
+// RangeBody returns the block that starts s's loop body (nil if s is not in
+// this graph). Obligations bound per iteration start here, with the
+// RangeStmt node itself as the iteration boundary.
+func (g *Graph) RangeBody(s *ast.RangeStmt) *Block { return g.rangeBody[s] }
+
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []frame
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if n == nil || b.cur == nil {
+		return
+	}
+	b.g.blockOf[n] = b.cur
+	b.g.nodeIndex[n] = len(b.cur.Nodes)
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// jump terminates the current block with an edge to `to` and continues in a
+// fresh (possibly unreachable) block for any statements that follow.
+func (b *builder) jump(to *Block) {
+	b.edge(b.cur, to)
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		join := b.newBlock()
+		b.edge(b.cur, join)
+		b.cur = join
+		b.labeled(s.Label.Name, s.Stmt)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt("", s)
+	case *ast.RangeStmt:
+		b.rangeStmt("", s)
+	case *ast.SwitchStmt:
+		b.switchStmt("", s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt("", s)
+	case *ast.SelectStmt:
+		b.selectStmt("", s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case nil:
+	default:
+		// Simple statements (assign, expr, send, incdec, decl, defer, go,
+		// empty) evaluate wholly within the current block.
+		b.add(s)
+	}
+}
+
+// labeled dispatches a labeled statement, threading the label to the
+// construct so labeled break/continue resolve.
+func (b *builder) labeled(label string, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		b.forStmt(label, s)
+	case *ast.RangeStmt:
+		b.rangeStmt(label, s)
+	case *ast.SwitchStmt:
+		b.switchStmt(label, s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(label, s)
+	case *ast.SelectStmt:
+		b.selectStmt(label, s)
+	default:
+		b.stmt(s)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.jump(f.breakTo)
+				return
+			}
+		}
+		b.jump(b.g.Exit)
+	case "continue":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.continueTo != nil && (label == "" || f.label == label) {
+				b.jump(f.continueTo)
+				return
+			}
+		}
+		b.jump(b.g.Exit)
+	case "goto":
+		// Conservative: a goto ends the path. None of the analyzed packages
+		// use goto; an exit edge keeps may-analysis sound enough without
+		// label-resolution machinery.
+		b.jump(b.g.Exit)
+	case "fallthrough":
+		// Handled structurally in switchStmt (the clause-end block links to
+		// the next clause); reaching here means a stray fallthrough — treat
+		// as end of path.
+		b.jump(b.g.Exit)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	after := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, after)
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(label string, s *ast.ForStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	header := b.newBlock()
+	b.edge(b.cur, header)
+	b.cur = header
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock()
+	post := b.newBlock()
+	body := b.newBlock()
+	b.edge(header, body)
+	if s.Cond != nil {
+		b.edge(header, after)
+	}
+
+	b.frames = append(b.frames, frame{label: label, breakTo: after, continueTo: post})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, post)
+	b.frames = b.frames[:len(b.frames)-1]
+
+	b.cur = post
+	if s.Post != nil {
+		b.add(s.Post)
+	}
+	b.edge(b.cur, header)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(label string, s *ast.RangeStmt) {
+	header := b.newBlock()
+	b.edge(b.cur, header)
+	b.cur = header
+	// The RangeStmt node stands for the per-iteration binding (and the
+	// one-time evaluation of s.X); Shallow knows not to descend into Body.
+	b.add(s)
+	after := b.newBlock()
+	body := b.newBlock()
+	b.edge(header, body)
+	b.edge(header, after)
+	b.g.rangeBody[s] = body
+
+	b.frames = append(b.frames, frame{label: label, breakTo: after, continueTo: header})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, header)
+	b.frames = b.frames[:len(b.frames)-1]
+
+	b.cur = after
+}
+
+func (b *builder) switchStmt(label string, s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(label, s.Body.List, func(clause ast.Stmt, blk *Block) []ast.Stmt {
+		cc := clause.(*ast.CaseClause)
+		for _, e := range cc.List {
+			b.g.blockOf[e] = blk
+			b.g.nodeIndex[e] = len(blk.Nodes)
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		return cc.Body
+	}, true)
+}
+
+func (b *builder) typeSwitchStmt(label string, s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	b.caseClauses(label, s.Body.List, func(clause ast.Stmt, blk *Block) []ast.Stmt {
+		return clause.(*ast.CaseClause).Body
+	}, false)
+}
+
+func (b *builder) selectStmt(label string, s *ast.SelectStmt) {
+	b.caseClauses(label, s.Body.List, func(clause ast.Stmt, blk *Block) []ast.Stmt {
+		cc := clause.(*ast.CommClause)
+		if cc.Comm != nil {
+			b.g.blockOf[cc.Comm] = blk
+			b.g.nodeIndex[cc.Comm] = len(blk.Nodes)
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		return cc.Body
+	}, false)
+}
+
+// caseClauses builds the shared clause structure of switch/type-switch/
+// select: every clause block is a successor of the dispatch block; clause
+// bodies merge at a common after-block. head seeds a clause's block with its
+// header nodes (case expressions, comm statement) and returns the body.
+// A default clause is detected structurally (no header); without one,
+// switches get a direct dispatch→after edge — select without default blocks
+// until some clause is runnable, so it gets none.
+func (b *builder) caseClauses(label string, clauses []ast.Stmt, head func(ast.Stmt, *Block) []ast.Stmt, switchLike bool) {
+	dispatch := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	type pending struct {
+		blk  *Block
+		body []ast.Stmt
+	}
+	var work []pending
+	for _, clause := range clauses {
+		blk := b.newBlock()
+		b.edge(dispatch, blk)
+		body := head(clause, blk)
+		if isDefaultClause(clause) {
+			hasDefault = true
+		}
+		work = append(work, pending{blk, body})
+	}
+	if switchLike && !hasDefault {
+		b.edge(dispatch, after)
+	}
+	if !switchLike && len(clauses) == 0 {
+		// `select {}` blocks forever: no edge out — statements after it are
+		// unreachable, which the dead continuation block models.
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: after})
+	for i, p := range work {
+		b.cur = p.blk
+		b.stmtList(stripFallthrough(p.body))
+		if endsInFallthrough(p.body) && i+1 < len(work) {
+			b.edge(b.cur, work[i+1].blk)
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func isDefaultClause(clause ast.Stmt) bool {
+	switch c := clause.(type) {
+	case *ast.CaseClause:
+		return c.List == nil
+	case *ast.CommClause:
+		return c.Comm == nil
+	}
+	return false
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+func stripFallthrough(body []ast.Stmt) []ast.Stmt {
+	if endsInFallthrough(body) {
+		return body[:len(body)-1]
+	}
+	return body
+}

@@ -1,0 +1,194 @@
+package flow
+
+import "go/ast"
+
+// Pred is a node predicate used by the reachability queries. A nil Pred
+// matches nothing.
+type Pred func(ast.Node) bool
+
+func match(p Pred, n ast.Node) bool { return p != nil && p(n) }
+
+// MayReach reports whether some execution path starting immediately after
+// `from` reaches a node matching target without first passing a node
+// matching kill. It over-approximates (per-branch merging): a true result
+// means "possibly", a false result means "provably never".
+func (g *Graph) MayReach(from ast.Node, target, kill Pred) bool {
+	blk := g.blockOf[from]
+	if blk == nil {
+		return false
+	}
+	seen := map[*Block]bool{}
+	var scan func(b *Block, start int) bool
+	scan = func(b *Block, start int) bool {
+		for _, n := range b.Nodes[start:] {
+			if match(target, n) {
+				return true
+			}
+			if match(kill, n) {
+				return false
+			}
+		}
+		for _, s := range b.Succs {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			if scan(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return scan(blk, g.nodeIndex[from]+1)
+}
+
+// MustReach reports whether every execution path starting immediately after
+// `from` reaches a node matching ok before reaching one matching boundary
+// and before falling off the function exit. Cycles count as success: a path
+// that never terminates never violates the obligation, and treating
+// in-progress blocks as satisfied computes the greatest fixpoint the
+// property needs.
+func (g *Graph) MustReach(from ast.Node, ok, boundary Pred) bool {
+	blk := g.blockOf[from]
+	if blk == nil {
+		return false
+	}
+	return g.mustFrom(blk, g.nodeIndex[from]+1, ok, boundary, map[*Block]bool{})
+}
+
+// MustReachBlock is MustReach with an explicit start block — used for
+// per-iteration obligations, where the paths of interest begin at a loop
+// body rather than after a specific node.
+func (g *Graph) MustReachBlock(b *Block, ok, boundary Pred) bool {
+	if b == nil {
+		return false
+	}
+	return g.mustFrom(b, 0, ok, boundary, map[*Block]bool{})
+}
+
+func (g *Graph) mustFrom(b *Block, start int, ok, boundary Pred, onPath map[*Block]bool) bool {
+	for _, n := range b.Nodes[start:] {
+		if match(ok, n) {
+			return true
+		}
+		if match(boundary, n) {
+			return false
+		}
+	}
+	if b == g.Exit {
+		return false
+	}
+	if len(b.Succs) == 0 {
+		// Dead continuation block (after return/break) or a blocking
+		// `select {}`: no path continues, so no path violates.
+		return true
+	}
+	if onPath[b] {
+		return true
+	}
+	onPath[b] = true
+	defer delete(onPath, b)
+	for _, s := range b.Succs {
+		if !g.mustFrom(s, 0, ok, boundary, onPath) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sets holds the per-block results of a forward may-analysis: In[b] is the
+// set of keys that may be live when b is entered.
+type Sets struct {
+	In map[*Block]map[any]bool
+}
+
+// ForwardMay runs a forward may-analysis (union join at merge points) to a
+// fixpoint: gen(n) yields keys that become live at n, kill(n) yields keys
+// that die. Use Sets.Walk to replay a block with the evolving live set.
+func (g *Graph) ForwardMay(gen, kill func(ast.Node) []any) *Sets {
+	in := map[*Block]map[any]bool{}
+	for _, b := range g.Blocks {
+		in[b] = map[any]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.Blocks {
+			live := map[any]bool{}
+			for k := range in[b] {
+				live[k] = true
+			}
+			for _, n := range b.Nodes {
+				for _, k := range kill(n) {
+					delete(live, k)
+				}
+				for _, k := range gen(n) {
+					live[k] = true
+				}
+			}
+			for _, s := range b.Succs {
+				for k := range live {
+					if !in[s][k] {
+						in[s][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return &Sets{In: in}
+}
+
+// Walk replays block b from its In set, calling fn(n, live) for each node
+// with the may-live set holding *before* n takes effect.
+func (s *Sets) Walk(b *Block, gen, kill func(ast.Node) []any, fn func(n ast.Node, live map[any]bool)) {
+	live := map[any]bool{}
+	for k := range s.In[b] {
+		live[k] = true
+	}
+	for _, n := range b.Nodes {
+		fn(n, live)
+		for _, k := range kill(n) {
+			delete(live, k)
+		}
+		for _, k := range gen(n) {
+			live[k] = true
+		}
+	}
+}
+
+// Shallow visits the parts of a CFG node that execute when the node does,
+// without descending into nested function-literal bodies, deferred or
+// go-spawned calls, or (for the RangeStmt header node) the loop body.
+// FuncLit nodes themselves are visited (so analyzers can recurse manually)
+// but their bodies are not. Returning false from visit prunes the subtree.
+func Shallow(n ast.Node, visit func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	switch s := n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		// The call runs elsewhere; argument evaluation is visible but the
+		// analyzers that care (lockorder, chargepair) treat these opaquely,
+		// so skip entirely rather than invent partial semantics.
+		return
+	case *ast.RangeStmt:
+		Shallow(s.Key, visit)
+		Shallow(s.Value, visit)
+		Shallow(s.X, visit)
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return true
+		}
+		switch x.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.FuncLit:
+			visit(x)
+			return false
+		}
+		return visit(x)
+	})
+}

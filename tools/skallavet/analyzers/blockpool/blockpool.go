@@ -13,9 +13,11 @@
 //   - leak: the Get result is bound to a variable that is never passed to
 //     Recycle, never passed to any other call, never returned, and never
 //     stored anywhere — i.e. provably dropped on every path;
-//   - double recycle: two relation.Recycle calls on the same variable in
-//     the same statement list with no reassignment in between — provably
-//     both execute.
+//   - double recycle: a second relation.Recycle of the same variable is
+//     reachable from a first one on some control-flow path with no
+//     reassignment in between. The check runs on the analysis/flow CFG, so
+//     it sees through branches and catches a Recycle inside a loop body
+//     that re-executes on the next iteration without a fresh Get.
 //
 // Method calls *on* the block (block.Len(), block.Schema) are reads, not
 // transfers, so "measure it and drop it" still flags.
@@ -26,6 +28,7 @@ import (
 	"go/types"
 
 	"skalla/tools/skallavet/analysis"
+	"skalla/tools/skallavet/analysis/flow"
 )
 
 // relationPath is the package that owns the pool protocol.
@@ -157,92 +160,105 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		return true
 	})
 
+	// Per-function CFGs: the declared body plus one per function literal.
+	// A deferred Recycle lives in no graph node (flow.Shallow keeps defers
+	// opaque), so it never participates in the double-recycle check —
+	// whether it runs on a path the other Recycle took is timing we cannot
+	// decide intraprocedurally.
+	graphs := []*flow.Graph{flow.New(fd.Body)}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			graphs = append(graphs, flow.New(lit.Body))
+		}
+		return true
+	})
+
 	for _, a := range acqs {
 		if len(a.recycles) == 0 && !a.moved {
 			pass.Reportf(a.pos.Pos(),
 				"pooled block %s leaks: no relation.Recycle and no ownership transfer on any path (stage it, emit it, or recycle it)",
 				a.obj.Name())
 		}
-		reportDoubleRecycles(pass, a, parents)
-	}
-}
-
-// reportDoubleRecycles flags two Recycle calls on the same variable that
-// provably both execute: same statement list, no reassignment in between.
-func reportDoubleRecycles(pass *analysis.Pass, a *acquisition, parents map[ast.Node]ast.Node) {
-	type site struct {
-		call  *ast.CallExpr
-		block *ast.BlockStmt
-		idx   int
-	}
-	var sites []site
-	for _, call := range a.recycles {
-		if blk, idx, ok := enclosingStmt(call, parents); ok {
-			sites = append(sites, site{call, blk, idx})
-		}
-	}
-	for i := 0; i < len(sites); i++ {
-		for j := i + 1; j < len(sites); j++ {
-			s1, s2 := sites[i], sites[j]
-			if s1.block != s2.block {
-				continue
-			}
-			lo, hi := s1.idx, s2.idx
-			var second *ast.CallExpr = s2.call
-			if lo > hi {
-				lo, hi = hi, lo
-				second = s1.call
-			}
-			if !assignedBetween(pass, a.obj, s1.block.List[lo+1:hi]) {
-				pass.Reportf(second.Pos(),
-					"pooled block %s recycled twice on the same path: the second Recycle corrupts the pool with aliased storage",
-					a.obj.Name())
-			}
+		for _, g := range graphs {
+			reportDoubleRecycles(pass, g, a)
 		}
 	}
 }
 
-func assignedBetween(pass *analysis.Pass, obj types.Object, stmts []ast.Stmt) bool {
-	for _, st := range stmts {
-		found := false
-		ast.Inspect(st, func(n ast.Node) bool {
-			as, ok := n.(*ast.AssignStmt)
-			if !ok {
+// reportDoubleRecycles flags a Recycle call of a's variable from which a
+// second Recycle of the same variable is reachable on some path with no
+// intervening reassignment — including the call itself re-executing around
+// a loop back edge without a fresh Get.
+func reportDoubleRecycles(pass *analysis.Pass, g *flow.Graph, a *acquisition) {
+	calls := map[*ast.CallExpr]bool{}
+	for _, c := range a.recycles {
+		calls[c] = true
+	}
+	// Map CFG nodes to the Recycle call they evaluate (at most one matters).
+	recycleIn := map[ast.Node]*ast.CallExpr{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			flow.Shallow(n, func(x ast.Node) bool {
+				if c, ok := x.(*ast.CallExpr); ok && calls[c] {
+					recycleIn[n] = c
+					return false
+				}
+				return true
+			})
+		}
+	}
+	if len(recycleIn) == 0 {
+		return
+	}
+	kill := func(n ast.Node) bool { return reassigns(pass, n, a.obj) }
+	for n2, c2 := range recycleIn {
+		is2 := func(m ast.Node) bool { return m == n2 }
+		fromOther := false
+		for n1 := range recycleIn {
+			if n1 != n2 && g.MayReach(n1, is2, kill) {
+				fromOther = true
+				break
+			}
+		}
+		switch {
+		case fromOther:
+			pass.Reportf(c2.Pos(),
+				"pooled block %s recycled twice on the same path: the second Recycle corrupts the pool with aliased storage",
+				a.obj.Name())
+		case g.MayReach(n2, is2, kill):
+			pass.Reportf(c2.Pos(),
+				"pooled block %s recycled again on the next loop iteration without a fresh Get: the repeat Recycle corrupts the pool with aliased storage",
+				a.obj.Name())
+		}
+	}
+}
+
+// reassigns reports whether CFG node n rebinds obj: an assignment with obj
+// on the left, or a range statement binding obj as key/value.
+func reassigns(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	isObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return pass.Info.Uses[id] == obj || pass.Info.Defs[id] == obj
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			if isObj(lhs) {
 				return true
 			}
-			for _, lhs := range as.Lhs {
-				if id, ok := lhs.(*ast.Ident); ok {
-					if pass.Info.Uses[id] == obj || pass.Info.Defs[id] == obj {
-						found = true
-					}
-				}
-			}
+		}
+	case *ast.RangeStmt:
+		if s.Key != nil && isObj(s.Key) {
 			return true
-		})
-		if found {
+		}
+		if s.Value != nil && isObj(s.Value) {
 			return true
 		}
 	}
 	return false
-}
-
-// enclosingStmt walks up to the nearest BlockStmt and returns the index of
-// the top-level statement within it that contains n.
-func enclosingStmt(n ast.Node, parents map[ast.Node]ast.Node) (*ast.BlockStmt, int, bool) {
-	child := n
-	for anc := parents[n]; anc != nil; child, anc = anc, parents[anc] {
-		blk, ok := anc.(*ast.BlockStmt)
-		if !ok {
-			continue
-		}
-		for i, st := range blk.List {
-			if st == child {
-				return blk, i, true
-			}
-		}
-		return nil, 0, false
-	}
-	return nil, 0, false
 }
 
 func buildParents(root ast.Node) map[ast.Node]ast.Node {

@@ -68,3 +68,35 @@ func notAPool(c cache, s relation.Schema) {
 	blk := c.Get(s, 8) // allowed: Get on a non-BlockPool receiver
 	_ = blk.Tuples
 }
+
+func branchThenTail(pool *relation.BlockPool, s relation.Schema, fast bool) {
+	blk := pool.Get(s, 4)
+	if fast {
+		relation.Recycle(blk) // allowed: first release on this path
+	}
+	relation.Recycle(blk) // want `pooled block blk recycled twice`
+}
+
+func loopRepeat(pool *relation.BlockPool, s relation.Schema) {
+	blk := pool.Get(s, 4)
+	for i := 0; i < 3; i++ {
+		relation.Recycle(blk) // want `pooled block blk recycled again on the next loop iteration`
+	}
+}
+
+func loopFresh(pool *relation.BlockPool, s relation.Schema) {
+	for i := 0; i < 3; i++ {
+		blk := pool.Get(s, 4) // allowed: fresh block bound every iteration
+		relation.Recycle(blk)
+	}
+}
+
+func branchExclusiveSwitch(pool *relation.BlockPool, s relation.Schema, mode int) {
+	blk := pool.Get(s, 4)
+	switch mode {
+	case 0:
+		relation.Recycle(blk) // allowed: cases are exclusive
+	default:
+		relation.Recycle(blk)
+	}
+}

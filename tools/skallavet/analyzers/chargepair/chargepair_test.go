@@ -1,0 +1,12 @@
+package chargepair_test
+
+import (
+	"testing"
+
+	"skalla/tools/skallavet/analyzers/chargepair"
+	"skalla/tools/skallavet/internal/checktest"
+)
+
+func TestChargePair(t *testing.T) {
+	checktest.Run(t, chargepair.Analyzer, "skalla/internal/core")
+}

@@ -1,0 +1,12 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"skalla/tools/skallavet/analyzers/errclass"
+	"skalla/tools/skallavet/internal/checktest"
+)
+
+func TestErrClass(t *testing.T) {
+	checktest.Run(t, errclass.Analyzer, "skalla/internal/core")
+}

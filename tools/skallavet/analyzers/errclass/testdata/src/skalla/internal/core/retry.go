@@ -1,0 +1,27 @@
+// Fixture: a miniature of the real core retry driver. The analyzer keys on
+// the withRetry name and the permanentError type in this package path.
+package core
+
+import "context"
+
+type Coordinator struct{}
+
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+func (c *Coordinator) withRetry(ctx context.Context, site int, fn func(ctx context.Context, attempt int) error) error {
+	for attempt := 0; ; attempt++ {
+		err := fn(ctx, attempt)
+		if err == nil {
+			return nil
+		}
+		if _, ok := err.(*permanentError); ok {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"skalla/internal/helpers"
+	"skalla/internal/transport"
+)
+
+// Every return classified: transport call (wrapped with %w), permanent
+// wrap, context error.
+func goodRound(ctx context.Context, c *Coordinator, s transport.Site) error {
+	return c.withRetry(ctx, 0, func(actx context.Context, attempt int) error {
+		n, err := s.EvalBase(actx, "q")
+		if err != nil {
+			return fmt.Errorf("site eval: %w", err)
+		}
+		if n < 0 {
+			return &permanentError{errors.New("negative cardinality")}
+		}
+		return actx.Err()
+	})
+}
+
+// Fresh unclassified error inside the retry attempt.
+func badRound(ctx context.Context, c *Coordinator) error {
+	return c.withRetry(ctx, 1, func(actx context.Context, attempt int) error {
+		return errors.New("flaky") // want `unclassified error on a retry path`
+	})
+}
+
+// fmt.Errorf without %w mints a fresh error even when its input was
+// classified.
+func badWrap(ctx context.Context, c *Coordinator, s transport.Site) error {
+	return c.withRetry(ctx, 1, func(actx context.Context, attempt int) error {
+		if _, err := s.EvalBase(actx, "q"); err != nil {
+			return fmt.Errorf("site eval: %v", err) // want `unclassified error on a retry path`
+		}
+		return nil
+	})
+}
+
+// The stream callback's errors surface as the attempt error: literals
+// nested inside retry-scoped code are retry-scoped too.
+func nestedEmit(ctx context.Context, c *Coordinator, s transport.Site) error {
+	return c.withRetry(ctx, 2, func(actx context.Context, attempt int) error {
+		return s.Stream(actx, func(block int) error {
+			if block < 0 {
+				return errors.New("bad block") // want `unclassified error on a retry path`
+			}
+			return actx.Err()
+		})
+	})
+}
+
+// broadcast forwards f into the retry path; the exported fact carries this
+// to every caller.
+func broadcast(ctx context.Context, c *Coordinator, f func(ctx context.Context) error) error {
+	return c.withRetry(ctx, 3, func(actx context.Context, attempt int) error {
+		return f(actx)
+	})
+}
+
+func viaForwarderGood(ctx context.Context, c *Coordinator, s transport.Site) error {
+	return broadcast(ctx, c, func(fctx context.Context) error {
+		_, err := s.EvalBase(fctx, "q")
+		return err
+	})
+}
+
+func viaForwarderBad(ctx context.Context, c *Coordinator) error {
+	return broadcast(ctx, c, func(fctx context.Context) error {
+		return errors.New("oops") // want `unclassified error on a retry path`
+	})
+}
+
+// wrapHelpers is classified: it only rewraps a classified error with %w.
+func wrapHelpers(ctx context.Context) error {
+	if err := helpers.Classified(ctx); err != nil {
+		return fmt.Errorf("helper: %w", err)
+	}
+	return nil
+}
+
+// Named functions handed into the retry path resolve through facts:
+// helpers.Classified and the local wrapHelpers pass, helpers.Fetch does
+// not.
+func namedFns(ctx context.Context, c *Coordinator) {
+	_ = broadcast(ctx, c, helpers.Classified)
+	_ = broadcast(ctx, c, wrapHelpers)
+	_ = broadcast(ctx, c, helpers.Fetch) // want `Fetch enters the retry path but returns unclassified errors`
+}

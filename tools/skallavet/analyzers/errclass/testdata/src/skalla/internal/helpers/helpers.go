@@ -1,0 +1,19 @@
+// Fixture: helper package whose classification must cross the package
+// boundary via facts.
+package helpers
+
+import (
+	"context"
+	"errors"
+)
+
+// Classified only ever returns context errors: safe in the retry path.
+func Classified(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Fetch returns a fresh unclassified error; passing it into a retry path
+// must be flagged at the call site.
+func Fetch(ctx context.Context) error {
+	return errors.New("fetch failed")
+}

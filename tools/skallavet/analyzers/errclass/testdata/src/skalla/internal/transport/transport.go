@@ -1,0 +1,10 @@
+// Fixture: a miniature of the real transport package. Errors produced by
+// Site calls are the whitelisted retryable class.
+package transport
+
+import "context"
+
+type Site interface {
+	EvalBase(ctx context.Context, q string) (int, error)
+	Stream(ctx context.Context, emit func(block int) error) error
+}

@@ -1,0 +1,518 @@
+// Package goroutinelife enforces that every goroutine spawned in library
+// code has a bounded lifecycle: it is joined (WaitGroup Done/Wait), bounded
+// by a context (it watches ctx.Done/ctx.Err), or provably terminates (its
+// channel traffic is consumed on every path from the spawn).
+//
+// Per `go` statement, in cascade:
+//
+//  1. The goroutine calls Done on a WaitGroup. A field WaitGroup implies a
+//     lifecycle Wait elsewhere (the server/transport accept-loop pattern)
+//     and passes; a local WaitGroup must be Waited somewhere in the
+//     spawning function, or the join is incomplete.
+//  2. The goroutine watches its context (calls Done or Err on a
+//     context.Context) — cancellation bounds it.
+//  3. The goroutine sends on an unbuffered local channel: every path from
+//     the spawn statement to function exit must consume that channel
+//     (receive, range, select, or handing the channel to other code). A
+//     path that returns early and skips the receive strands the sender
+//     forever — the classic skippable-receive leak.
+//  4. Otherwise, if the goroutine body contains blocking constructs (loops,
+//     selects, channel operations), it is flagged as unbounded: nothing
+//     joins it, nothing cancels it, and it does not provably finish.
+//     Straight-line goroutines pass — they terminate on their own.
+//
+// A WaitGroup Wait() call is treated as bounded waiting, not as a blocking
+// construct: the canonical closer goroutine `go func() { wg.Wait();
+// close(ch) }()` terminates when the (separately checked) counted
+// goroutines do.
+//
+// Named spawn targets (`go s.acceptLoop()`) resolve through goFact — the
+// same classification exported per function, so the check crosses package
+// boundaries via the fact system. Test files and main packages are exempt.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"skalla/tools/skallavet/analysis"
+	"skalla/tools/skallavet/analysis/flow"
+)
+
+// goFact classifies a named function for spawn sites in other packages.
+type goFact struct {
+	// Joins: the function calls Done on some WaitGroup (it participates in
+	// a join protocol).
+	Joins bool `json:"joins,omitempty"`
+	// CtxBounded: the function watches a context's Done/Err.
+	CtxBounded bool `json:"ctxBounded,omitempty"`
+	// Blocking: the body contains loops, selects, or channel operations —
+	// spawned unjoined and unbounded, it can live forever.
+	Blocking bool `json:"blocking,omitempty"`
+}
+
+func (*goFact) AFact() {}
+
+// Analyzer is the goroutinelife rule.
+var Analyzer = &analysis.Analyzer{
+	Name:      "goroutinelife",
+	Doc:       "every goroutine in library code must be WaitGroup-joined, context-bounded, or provably terminating",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*goFact)(nil)},
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+
+	// Export a fact per declared function so importers can judge named
+	// spawns; keep the local map for same-package spawns.
+	c.local = map[types.Object]*goFact{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			fact := &goFact{
+				Joins:      len(c.wgDones(fd.Body)) > 0,
+				CtxBounded: c.ctxBounded(fd.Body),
+				Blocking:   c.blocking(fd.Body),
+			}
+			c.local[obj] = fact
+			if fact.Joins || fact.CtxBounded || fact.Blocking {
+				pass.ExportObjectFact(obj, fact)
+			}
+		}
+	}
+
+	if pass.Pkg.Name() == "main" {
+		return nil // a main package's goroutines die with the process
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	local map[types.Object]*goFact
+}
+
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	var g *flow.Graph // built lazily; only channel obligations need it
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if g == nil {
+			g = flow.New(body)
+		}
+		c.checkSpawn(body, g, gs)
+		return true
+	})
+}
+
+func (c *checker) checkSpawn(encl *ast.BlockStmt, g *flow.Graph, gs *ast.GoStmt) {
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		c.checkNamedSpawn(gs)
+		return
+	}
+
+	// 1. WaitGroup join.
+	dones := c.wgDones(lit.Body)
+	if len(dones) > 0 {
+		waits := c.wgWaits(encl)
+		for _, d := range dones {
+			if d.field != "" {
+				continue // field WaitGroup: lifecycle Wait lives elsewhere
+			}
+			if !waits[d.obj] {
+				c.pass.Reportf(gs.Pos(),
+					"goroutine calls %s.Done but nothing in this function Waits on it; the join is incomplete",
+					d.obj.Name())
+			}
+		}
+		return
+	}
+
+	// 2. Context-bounded.
+	if c.ctxBounded(lit.Body) {
+		return
+	}
+
+	// 3. Sends on unbuffered local channels must be consumed on all paths.
+	leaked := false
+	for _, ch := range c.unbufferedSends(lit.Body) {
+		if !c.consumedOnAllPaths(encl, g, gs, ch) {
+			leaked = true
+			c.pass.Reportf(gs.Pos(),
+				"goroutine may leak: its send on %s is not consumed on every path from the spawn (a skipped receive strands the sender); consume it on all paths, buffer the channel, or bound the goroutine with a context",
+				ch.Name())
+		}
+	}
+	if leaked {
+		return
+	}
+
+	// 4. Otherwise only provably terminating bodies pass.
+	if c.blocking(lit.Body) {
+		c.pass.Reportf(gs.Pos(),
+			"unbounded goroutine: not joined by a WaitGroup, not bounded by a context, and its body can block forever; join it, watch ctx.Done, or make it finite")
+	}
+}
+
+// checkNamedSpawn judges `go f(...)` / `go x.m(...)` through goFact.
+func (c *checker) checkNamedSpawn(gs *ast.GoStmt) {
+	var id *ast.Ident
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	obj, ok := c.pass.Info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	var fact *goFact
+	if obj.Pkg().Path() == c.pass.Pkg.Path() {
+		fact = c.local[obj]
+	} else {
+		var f goFact
+		if c.pass.ImportObjectFact(obj, &f) {
+			fact = &f
+		}
+	}
+	if fact == nil {
+		return // no knowledge: stay quiet rather than guess
+	}
+	if fact.Joins || fact.CtxBounded {
+		return
+	}
+	if fact.Blocking {
+		c.pass.Reportf(gs.Pos(),
+			"unbounded goroutine: %s blocks (loops/selects/channel ops) but the spawn is neither WaitGroup-joined nor context-bounded",
+			obj.Name())
+	}
+}
+
+// doneRef is one wg.Done() target: a field class or a local object.
+type doneRef struct {
+	field string
+	obj   types.Object
+}
+
+// wgDones finds the WaitGroups body calls Done on.
+func (c *checker) wgDones(body *ast.BlockStmt) []doneRef {
+	var out []doneRef
+	seen := map[any]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := c.waitGroupMethod(call, "Done")
+		if !ok {
+			return true
+		}
+		if field := c.fieldClass(recv); field != "" {
+			if !seen[field] {
+				seen[field] = true
+				out = append(out, doneRef{field: field})
+			}
+			return true
+		}
+		if obj := c.identObj(recv); obj != nil && !seen[obj] {
+			seen[obj] = true
+			out = append(out, doneRef{obj: obj})
+		}
+		return true
+	})
+	return out
+}
+
+// wgWaits collects the local WaitGroup objects Waited anywhere in body
+// (including inside nested literals — a closer goroutine's Wait counts).
+func (c *checker) wgWaits(body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, ok := c.waitGroupMethod(call, "Wait"); ok {
+			if obj := c.identObj(recv); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// waitGroupMethod matches `recv.<name>()` where recv is a sync.WaitGroup,
+// returning the receiver expression.
+func (c *checker) waitGroupMethod(call *ast.CallExpr, name string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	fn, ok := c.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// fieldClass names a struct-field receiver "<pkg>.<Type>.<field>", or "".
+func (c *checker) fieldClass(e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selInfo, ok := c.pass.Info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	v, ok := selInfo.Obj().(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	recv := selInfo.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return v.Pkg().Path() + "." + named.Obj().Name() + "." + v.Name()
+}
+
+func (c *checker) identObj(e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := c.pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return c.pass.Info.Defs[id]
+}
+
+// ctxBounded reports whether body watches a context (calls Done or Err on a
+// context.Context value).
+func (c *checker) ctxBounded(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Err") {
+			return true
+		}
+		if tv, ok := c.pass.Info.Types[sel.X]; ok && isContext(tv.Type) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// blocking reports whether body contains constructs that can block forever:
+// loops, selects, or channel receives. Sends do not count — an unbuffered
+// local send is checked by the consumption obligation, and a send to a
+// caller-supplied channel is the consumer's lifecycle to manage.
+// WaitGroup.Wait is bounded waiting (the counted goroutines are checked
+// separately) and does not count either.
+func (c *checker) blocking(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// unbufferedSends returns the local channel objects the body sends on whose
+// make() has no capacity (or explicit zero): those sends block until
+// received. Channels from parameters, fields, or buffered makes have their
+// lifetime managed elsewhere.
+func (c *checker) unbufferedSends(body *ast.BlockStmt) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	record := func(e ast.Expr) {
+		obj := c.identObj(e)
+		if obj == nil || seen[obj] {
+			return
+		}
+		if c.isUnbufferedLocalChan(obj) {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if send, ok := n.(*ast.SendStmt); ok {
+			record(send.Chan)
+		}
+		return true
+	})
+	return out
+}
+
+// isUnbufferedLocalChan reports whether obj is a local variable initialized
+// with an unbuffered make(chan ...). The scan covers the whole package file
+// set, so a channel made in the enclosing function and sent to inside the
+// literal resolves.
+func (c *checker) isUnbufferedLocalChan(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return false
+	}
+	if _, ok := v.Type().Underlying().(*types.Chan); !ok {
+		return false
+	}
+	unbuffered := false
+	for _, file := range c.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || (c.pass.Info.Defs[id] != obj && c.pass.Info.Uses[id] != obj) {
+					continue
+				}
+				call, ok := as.Rhs[i].(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "make" {
+					if len(call.Args) == 1 {
+						unbuffered = true
+					} else if len(call.Args) == 2 {
+						if lit, ok := call.Args[1].(*ast.BasicLit); ok && lit.Value == "0" {
+							unbuffered = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return unbuffered
+}
+
+// consumedOnAllPaths checks the skippable-receive obligation: every path
+// from the spawn to function exit must touch ch in a consuming position
+// (receive, range, select case, passing it to a call, returning or storing
+// it). A loop whose body consumes satisfies the obligation at its header —
+// the zero-iteration CFG path is not a real counterexample when the gather
+// loop is counted to match the sends.
+func (c *checker) consumedOnAllPaths(encl *ast.BlockStmt, g *flow.Graph, gs *ast.GoStmt, ch types.Object) bool {
+	okNodes := map[ast.Node]bool{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if n == ast.Node(gs) {
+				continue
+			}
+			if c.nodeConsumes(n, ch) {
+				okNodes[n] = true
+			}
+		}
+	}
+	// Mark consuming loops at their headers.
+	ast.Inspect(encl, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			if s.Cond != nil && c.subtreeMentions(s.Body, ch) {
+				okNodes[s.Cond] = true
+			}
+		case *ast.RangeStmt:
+			if c.subtreeMentions(s.Body, ch) || c.identObj(s.X) == ch {
+				okNodes[s] = true
+			}
+		}
+		return true
+	})
+	return g.MustReach(gs, func(n ast.Node) bool { return okNodes[n] }, nil)
+}
+
+// nodeConsumes reports whether CFG node n uses ch in any position other
+// than sending on it.
+func (c *checker) nodeConsumes(n ast.Node, ch types.Object) bool {
+	if send, ok := n.(*ast.SendStmt); ok && c.identObj(send.Chan) == ch {
+		return false
+	}
+	found := false
+	flow.Shallow(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && c.pass.Info.Uses[id] == ch {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) subtreeMentions(n ast.Node, ch types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && c.pass.Info.Uses[id] == ch {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"skalla/tools/skallavet/analyzers/goroutinelife"
+	"skalla/tools/skallavet/internal/checktest"
+)
+
+func TestGoLifeOK(t *testing.T) {
+	checktest.Run(t, goroutinelife.Analyzer, "golifeok")
+}
+
+func TestGoLifeBad(t *testing.T) {
+	checktest.Run(t, goroutinelife.Analyzer, "golifebad")
+}

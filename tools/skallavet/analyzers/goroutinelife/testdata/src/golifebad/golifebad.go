@@ -1,0 +1,48 @@
+// Fixture: leaked and unbounded goroutines are reported.
+package golifebad
+
+import (
+	"sync"
+
+	"golifelib"
+)
+
+// Unjoined worker loop: nothing joins it, nothing cancels it.
+func workerLeak(tick chan int) {
+	go func() { // want `unbounded goroutine: not joined by a WaitGroup, not bounded by a context`
+		for v := range tick {
+			_ = v
+		}
+	}()
+}
+
+// Done without Wait: the join protocol is half-built.
+func halfJoin(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine calls wg.Done but nothing in this function Waits on it`
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			f()
+		}
+	}()
+}
+
+// Skippable receive: the early error return skips <-ch and strands the
+// sender forever on the unbuffered channel.
+func skippableReceive(f func() int, check func() error) (int, error) {
+	ch := make(chan int)
+	go func() { // want `goroutine may leak: its send on ch is not consumed on every path from the spawn`
+		ch <- f()
+	}()
+	if err := check(); err != nil {
+		return 0, err
+	}
+	return <-ch, nil
+}
+
+// Cross-package: golifelib.Spin's fact says it blocks, and the bare spawn
+// neither joins nor bounds it.
+func namedLeak(p *golifelib.Pump) {
+	go golifelib.Spin(p) // want `unbounded goroutine: Spin blocks`
+}

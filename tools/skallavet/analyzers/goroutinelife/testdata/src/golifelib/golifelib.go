@@ -1,0 +1,40 @@
+// Fixture dependency: exercises cross-package goFact classification.
+package golifelib
+
+import (
+	"context"
+	"sync"
+)
+
+type Pump struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+// Spin loops forever with no join and no context: Blocking, not Joins, not
+// CtxBounded — spawning it bare is a leak.
+func Spin(p *Pump) {
+	for v := range p.ch {
+		_ = v
+	}
+}
+
+// Serve is joined via the field WaitGroup (the accept-loop pattern).
+func Serve(p *Pump) {
+	defer p.wg.Done()
+	for v := range p.ch {
+		_ = v
+	}
+}
+
+// Watch is context-bounded.
+func Watch(ctx context.Context, p *Pump) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-p.ch:
+			_ = v
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Fixture: goroutines with bounded lifecycles produce no diagnostics.
+package golifeok
+
+import (
+	"context"
+	"sync"
+
+	"golifelib"
+)
+
+type server struct {
+	wg sync.WaitGroup
+}
+
+// Joined: local WaitGroup with Done in the goroutine and Wait here.
+func fanOut(work []int, f func(int)) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < w; i++ {
+				f(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Field WaitGroup: the Wait lives in the type's shutdown path elsewhere.
+func (s *server) spawn(f func()) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for i := 0; i < 10; i++ {
+			f()
+		}
+	}()
+}
+
+// Context-bounded: the goroutine watches ctx.Done.
+func watch(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-tick:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Closer pattern: Wait is bounded waiting, not a blocking construct.
+func closer(done chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	wg.Wait()
+}
+
+// Buffered channel: the send cannot block, no consumption obligation.
+func buffered(f func() error) error {
+	errs := make(chan error, 1)
+	go func() {
+		errs <- f()
+	}()
+	return <-errs
+}
+
+// Unbuffered but consumed on every path.
+func consumed(f func() int) int {
+	ch := make(chan int)
+	go func() {
+		ch <- f()
+	}()
+	return <-ch
+}
+
+// Scatter/gather: the counted receive loop satisfies the obligation at its
+// header, so the zero-iteration CFG path is not a counterexample.
+func gather(work []int, f func(int) int) int {
+	ch := make(chan int)
+	for _, w := range work {
+		go func(w int) {
+			ch <- f(w)
+		}(w)
+	}
+	total := 0
+	for i := 0; i < len(work); i++ {
+		total += <-ch
+	}
+	return total
+}
+
+// Straight-line goroutine: terminates on its own.
+func fireAndForget(f func()) {
+	go func() {
+		f()
+	}()
+}
+
+// Named spawns with healthy facts.
+func named(ctx context.Context, p *golifelib.Pump) {
+	go golifelib.Serve(p)
+	go golifelib.Watch(ctx, p)
+}

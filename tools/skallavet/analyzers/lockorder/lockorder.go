@@ -1,0 +1,553 @@
+// Package lockorder enforces the committed lock-acquisition hierarchy.
+//
+// Every sync.Mutex/sync.RWMutex field, package-level mutex variable, and
+// `chan struct{}` semaphore field (send = acquire, receive = release — the
+// admission semaphore pattern) is a lock class named
+// "<pkgpath>.<Type>.<field>" (or "<pkgpath>.<var>"). A forward may-analysis
+// over the analysis/flow CFG tracks which classes may be held at every
+// program point; each blocking acquisition made while another class is held
+// contributes an ordering edge held -> acquired.
+//
+// Edges must appear in the committed partial order
+// (tools/skallavet/testdata/lockorder.golden, or a package-local
+// lockorder.golden in fixtures). An edge that inverts the golden's
+// transitive closure is a potential deadlock cycle; an edge missing from the
+// golden entirely must be added deliberately — the golden is the reviewed
+// record of who may hold what while taking what.
+//
+// Cross-package edges ride the fact system: analyzing a package, lockorder
+// exports for each function the set of classes it may acquire (transitive
+// through same-package calls); analyzing an importer, a call made under a
+// held lock pulls the callee's fact and adds held -> each callee class.
+// Deliberate conservatisms: deferred Unlocks do not end a held range (the
+// lock really is held until return), and function literals are analyzed as
+// separate functions with an empty entry held-set (they typically run on
+// another goroutine or under a retry driver; their acquires do not fold
+// into the enclosing function's fact).
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"skalla/tools/skallavet/analysis"
+	"skalla/tools/skallavet/analysis/flow"
+)
+
+// acquiresFact records the lock classes a function may acquire, directly or
+// through same-package callees.
+type acquiresFact struct {
+	Locks []string `json:"locks"`
+}
+
+func (*acquiresFact) AFact() {}
+
+// Analyzer is the lockorder rule.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "lock acquisition edges must follow the committed partial order in lockorder.golden",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*acquiresFact)(nil)},
+}
+
+func run(pass *analysis.Pass) error {
+	golden, goldenPath := loadGolden(pass.Dir)
+
+	c := &checker{
+		pass:     pass,
+		golden:   golden,
+		path:     goldenPath,
+		acquires: map[types.Object][]string{},
+	}
+
+	// Collect function bodies: declared functions now, literals after — the
+	// fact fixpoint below only folds declared same-package callees.
+	type fn struct {
+		obj  types.Object
+		body *ast.BlockStmt
+	}
+	var fns []fn
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fns = append(fns, fn{pass.Info.Defs[fd.Name], fd.Body})
+		}
+	}
+
+	// Fact fixpoint: a function's acquire set is its direct blocking
+	// acquisitions plus the sets of every same-package function it calls
+	// (imported callees resolve through their package's facts, which are
+	// already transitive).
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			set := map[string]bool{}
+			for _, l := range c.acquires[f.obj] {
+				set[l] = true
+			}
+			before := len(set)
+			c.directAcquires(f.body, set)
+			c.calleeAcquires(f.body, set)
+			if len(set) != before {
+				c.acquires[f.obj] = sortedKeys(set)
+				changed = true
+			}
+		}
+	}
+	for obj, locks := range c.acquires {
+		if obj != nil && len(locks) > 0 {
+			pass.ExportObjectFact(obj, &acquiresFact{Locks: locks})
+		}
+	}
+
+	// Edge collection: declared bodies and every literal body, each with an
+	// empty entry held-set.
+	for _, f := range fns {
+		c.checkBody(f.body)
+		ast.Inspect(f.body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.checkBody(lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	golden   *order
+	path     string
+	acquires map[types.Object][]string
+	aliases  map[types.Object]string // local -> lock class, per body
+	reported map[[2]string]bool
+}
+
+// directAcquires adds the classes blocking-acquired anywhere in body
+// (including inside literals — the lock is acquired by *some* code this
+// function starts) to set.
+func (c *checker) directAcquires(body *ast.BlockStmt, set map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if cls, _, blocking := c.acquisition(n); blocking && cls != "" {
+			set[cls] = true
+		}
+		return true
+	})
+}
+
+// calleeAcquires folds the acquire sets of called functions into set:
+// same-package callees from the in-progress fixpoint, imported callees from
+// their package's facts.
+func (c *checker) calleeAcquires(body *ast.BlockStmt, set map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, l := range c.calleeLocks(call) {
+			set[l] = true
+		}
+		return true
+	})
+}
+
+// calleeLocks resolves the acquire set of a call's target function.
+func (c *checker) calleeLocks(call *ast.CallExpr) []string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj, ok := c.pass.Info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return nil
+	}
+	if obj.Pkg().Path() == c.pass.Pkg.Path() {
+		return c.acquires[obj]
+	}
+	var fact acquiresFact
+	if c.pass.ImportObjectFact(obj, &fact) {
+		return fact.Locks
+	}
+	return nil
+}
+
+// checkBody runs the held-set analysis over one body and reports edges that
+// violate the golden order.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	c.aliases = map[types.Object]string{}
+	c.reported = map[[2]string]bool{} // dedup edge reports per body
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false // literals get their own checkBody call
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			cls := c.lockClass(rhs)
+			if cls == "" {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := c.pass.Info.Defs[id]; obj != nil {
+					c.aliases[obj] = cls
+				}
+			}
+		}
+		return true
+	})
+
+	g := flow.New(body)
+	gen := func(n ast.Node) []any { return c.genKill(n, true) }
+	kill := func(n ast.Node) []any { return c.genKill(n, false) }
+	sets := g.ForwardMay(gen, kill)
+	for _, b := range g.Blocks {
+		sets.Walk(b, gen, kill, func(n ast.Node, live map[any]bool) {
+			if len(live) == 0 {
+				return
+			}
+			held := make([]string, 0, len(live))
+			for k := range live {
+				held = append(held, k.(string))
+			}
+			sort.Strings(held)
+			var acquired []string
+			if cls, _, blocking := c.nodeAcquisition(n); blocking && cls != "" {
+				acquired = append(acquired, cls)
+			}
+			flow.Shallow(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					acquired = append(acquired, c.calleeLocks(call)...)
+				}
+				return true
+			})
+			// Self edges (re-acquiring the class you hold — a second
+			// stripe, or a plain self-deadlock) must be declared in the
+			// golden like any other edge.
+			for _, acq := range acquired {
+				for _, h := range held {
+					c.edge(n.Pos(), h, acq)
+				}
+			}
+		})
+	}
+}
+
+// edge checks one held->acquired edge against the golden order.
+func (c *checker) edge(pos token.Pos, held, acq string) {
+	key := [2]string{held, acq}
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	if c.golden.allows(held, acq) {
+		return
+	}
+	if c.golden.allows(acq, held) {
+		c.pass.Reportf(pos,
+			"lock order inversion: %s acquired while holding %s, but %s orders %s before %s",
+			acq, held, c.goldenName(), acq, held)
+		return
+	}
+	c.pass.Reportf(pos,
+		"undeclared lock acquisition edge: %s -> %s; if this order is intended, add it to %s",
+		held, acq, c.goldenName())
+}
+
+func (c *checker) goldenName() string {
+	if c.path == "" {
+		return "tools/skallavet/testdata/lockorder.golden (missing)"
+	}
+	// Keep diagnostics stable across checkouts: report the path from the
+	// repo/fixture root, not the absolute one.
+	if i := strings.LastIndex(c.path, "tools/skallavet/"); i >= 0 {
+		return c.path[i:]
+	}
+	return filepath.Base(c.path)
+}
+
+// genKill returns the lock classes node n acquires (gen) or releases
+// (!gen). Deferred statements are opaque CFG nodes, so a deferred Unlock
+// never kills — the lock is genuinely held until return.
+func (c *checker) genKill(n ast.Node, gen bool) []any {
+	var out []any
+	if cls, isAcq, _ := c.nodeAcquisition(n); cls != "" && isAcq == gen {
+		out = append(out, cls)
+	}
+	flow.Shallow(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if cls, isAcq, _ := c.lockCall(x); cls != "" && isAcq == gen {
+				out = append(out, cls)
+			}
+		case *ast.UnaryExpr:
+			// `<-x.sem` releases a semaphore class.
+			if !gen && x.Op == token.ARROW {
+				if cls := c.lockClass(x.X); cls != "" {
+					out = append(out, cls)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// nodeAcquisition classifies a whole CFG node that is itself an acquisition:
+// a semaphore send statement. Returns (class, isAcquire, blocking).
+func (c *checker) nodeAcquisition(n ast.Node) (string, bool, bool) {
+	if send, ok := n.(*ast.SendStmt); ok {
+		if cls := c.lockClass(send.Chan); cls != "" {
+			return cls, true, true
+		}
+	}
+	if cls, isAcq, blocking := c.acquisitionExpr(n); cls != "" {
+		return cls, isAcq, blocking
+	}
+	return "", false, false
+}
+
+// acquisition classifies any AST node during the directAcquires sweep.
+func (c *checker) acquisition(n ast.Node) (string, bool, bool) {
+	if send, ok := n.(*ast.SendStmt); ok {
+		if cls := c.lockClass(send.Chan); cls != "" {
+			return cls, true, true
+		}
+	}
+	if call, ok := n.(*ast.CallExpr); ok {
+		return c.lockCall(call)
+	}
+	return "", false, false
+}
+
+// acquisitionExpr finds a lock-method call evaluated by node n itself.
+func (c *checker) acquisitionExpr(n ast.Node) (cls string, isAcq, blocking bool) {
+	flow.Shallow(n, func(x ast.Node) bool {
+		if cls != "" {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			if cl, a, b := c.lockCall(call); cl != "" {
+				cls, isAcq, blocking = cl, a, b
+				return false
+			}
+		}
+		return true
+	})
+	return
+}
+
+// lockCall classifies mutex method calls: Lock/RLock block and acquire,
+// TryLock/TryRLock acquire without blocking, Unlock/RUnlock release.
+func (c *checker) lockCall(call *ast.CallExpr) (string, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	var isAcq, blocking bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		isAcq, blocking = true, true
+	case "TryLock", "TryRLock":
+		isAcq, blocking = true, false
+	case "Unlock", "RUnlock":
+		isAcq, blocking = false, false
+	default:
+		return "", false, false
+	}
+	fn, ok := c.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	cls := c.lockClass(sel.X)
+	if cls == "" {
+		return "", false, false
+	}
+	return cls, isAcq, blocking
+}
+
+// lockClass names the lock an expression denotes, or "" if it is not a
+// trackable lock (locals without a field alias are untracked).
+func (c *checker) lockClass(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.lockClass(e.X)
+		}
+	case *ast.IndexExpr:
+		// One stripe of a lock array shares the array's class.
+		return c.lockClass(e.X)
+	case *ast.SelectorExpr:
+		if selInfo, ok := c.pass.Info.Selections[e]; ok {
+			v, ok := selInfo.Obj().(*types.Var)
+			if !ok || !isLockType(v.Type()) {
+				return ""
+			}
+			recv := selInfo.Recv()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok || v.Pkg() == nil {
+				return ""
+			}
+			return v.Pkg().Path() + "." + named.Obj().Name() + "." + v.Name()
+		}
+		// Qualified package-level var: pkg.Mu.
+		if v, ok := c.pass.Info.Uses[e.Sel].(*types.Var); ok {
+			return packageVarClass(v)
+		}
+	case *ast.Ident:
+		obj := c.pass.Info.Uses[e]
+		if obj == nil {
+			obj = c.pass.Info.Defs[e]
+		}
+		if obj == nil {
+			return ""
+		}
+		if cls, ok := c.aliases[obj]; ok {
+			return cls
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return packageVarClass(v)
+		}
+	}
+	return ""
+}
+
+// packageVarClass names a package-level lock variable, or "" for locals.
+func packageVarClass(v *types.Var) string {
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() || !isLockType(v.Type()) {
+		return ""
+	}
+	return v.Pkg().Path() + "." + v.Name()
+}
+
+// isLockType reports whether t is sync.Mutex, sync.RWMutex, an array of
+// them (stripes), or a struct-less semaphore channel.
+func isLockType(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Array:
+		return isLockType(t.Elem())
+	case *types.Named:
+		obj := t.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+	case *types.Chan:
+		st, ok := t.Elem().Underlying().(*types.Struct)
+		return ok && st.NumFields() == 0
+	}
+	return false
+}
+
+// order is the parsed golden partial order with its transitive closure.
+type order struct {
+	closure map[string]map[string]bool
+}
+
+func (o *order) allows(a, b string) bool {
+	if o == nil || o.closure == nil {
+		return false
+	}
+	return o.closure[a][b]
+}
+
+// loadGolden locates and parses the committed hierarchy: a package-local
+// lockorder.golden (fixtures) or tools/skallavet/testdata/lockorder.golden
+// found by walking up from the package directory to the repository root.
+func loadGolden(dir string) (*order, string) {
+	try := []string{filepath.Join(dir, "lockorder.golden")}
+	for d := dir; ; {
+		try = append(try, filepath.Join(d, "tools", "skallavet", "testdata", "lockorder.golden"))
+		parent := filepath.Dir(d)
+		if parent == d {
+			break
+		}
+		d = parent
+	}
+	for _, path := range try {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		return parseGolden(string(data)), path
+	}
+	return nil, ""
+}
+
+func parseGolden(text string) *order {
+	direct := map[string]map[string]bool{}
+	nodes := map[string]bool{}
+	addEdge := func(a, b string) {
+		if direct[a] == nil {
+			direct[a] = map[string]bool{}
+		}
+		direct[a][b] = true
+		nodes[a], nodes[b] = true, true
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "->")
+		if len(parts) < 2 {
+			continue
+		}
+		// Chains are allowed: a -> b -> c declares both edges.
+		for i := 0; i+1 < len(parts); i++ {
+			a, b := strings.TrimSpace(parts[i]), strings.TrimSpace(parts[i+1])
+			if a != "" && b != "" {
+				addEdge(a, b)
+			}
+		}
+	}
+	// Transitive closure (the node sets are tiny).
+	closure := map[string]map[string]bool{}
+	for a := range direct {
+		closure[a] = map[string]bool{}
+		for b := range direct[a] {
+			closure[a][b] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for a := range closure {
+			for b := range closure[a] {
+				for c := range closure[b] {
+					if !closure[a][c] {
+						closure[a][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return &order{closure: closure}
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

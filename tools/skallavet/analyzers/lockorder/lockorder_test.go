@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"skalla/tools/skallavet/analyzers/lockorder"
+	"skalla/tools/skallavet/internal/checktest"
+)
+
+func TestLockGood(t *testing.T) {
+	checktest.Run(t, lockorder.Analyzer, "lockgood")
+}
+
+func TestLockBad(t *testing.T) {
+	checktest.Run(t, lockorder.Analyzer, "lockbad")
+}

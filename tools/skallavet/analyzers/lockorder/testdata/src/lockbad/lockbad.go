@@ -1,0 +1,70 @@
+// Fixture: inverted and undeclared acquisition edges are reported.
+package lockbad
+
+import (
+	"sync"
+
+	"locklib"
+)
+
+type Catalog struct {
+	mu sync.RWMutex
+}
+
+type Session struct {
+	mu sync.Mutex
+}
+
+type Cache struct {
+	mu sync.Mutex
+}
+
+// Inverted: the golden orders Session.mu before Catalog.mu, but this takes
+// the catalog lock first and the session lock under it.
+func Inverted(s *Session, c *Catalog) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.mu.Lock() // want `lock order inversion: lockbad.Session.mu acquired while holding lockbad.Catalog.mu`
+	defer s.mu.Unlock()
+}
+
+// Undeclared: no golden line mentions Cache.mu at all.
+func Undeclared(s *Session, k *Cache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k.mu.Lock() // want `undeclared lock acquisition edge: lockbad.Session.mu -> lockbad.Cache.mu`
+}
+
+// CrossPackageInverted: locklib.Bump acquires Registry.Mu (via its fact);
+// the golden orders Session.mu after it, so holding Session.mu here inverts.
+func CrossPackageInverted(s *Session, r *locklib.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	locklib.Bump(r) // want `lock order inversion: locklib.Registry.Mu acquired while holding lockbad.Session.mu`
+}
+
+// ReleasedBeforehand: an explicit unlock ends the held range, so no edge.
+func ReleasedBeforehand(s *Session, c *Catalog) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// DeferredStaysHeld: a deferred unlock does NOT end the held range — the
+// alias through a local pointer is tracked too.
+func DeferredStaysHeld(s *Session, c *Catalog) {
+	lk := &c.mu
+	lk.Lock()
+	defer lk.Unlock()
+	s.mu.Lock() // want `lock order inversion: lockbad.Session.mu acquired while holding lockbad.Catalog.mu`
+	s.mu.Unlock()
+}
+
+// Allowed direction for reference: Session.mu before Catalog.mu is golden.
+func AllowedDirection(s *Session, c *Catalog) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.mu.RLock()
+	c.mu.RUnlock()
+}

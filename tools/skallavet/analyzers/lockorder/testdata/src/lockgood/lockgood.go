@@ -1,0 +1,61 @@
+// Fixture: acquisitions that follow the committed order in this package's
+// lockorder.golden produce no diagnostics.
+package lockgood
+
+import (
+	"sync"
+
+	"locklib"
+)
+
+type Catalog struct {
+	mu   sync.RWMutex
+	rows map[string]int
+}
+
+type Session struct {
+	mu  sync.Mutex
+	sem chan struct{}
+}
+
+func (s *Session) WithCatalog(c *Catalog, key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.mu.RLock() // allowed: golden orders Session.mu before Catalog.mu
+	defer c.mu.RUnlock()
+	return c.rows[key]
+}
+
+// Admit holds the session lock while taking the admission semaphore; the
+// send is an acquisition edge Session.mu -> Session.sem, declared golden.
+func (s *Session) Admit() {
+	s.mu.Lock()
+	s.sem <- struct{}{}
+	s.mu.Unlock()
+	<-s.sem
+}
+
+// Publish creates the cross-package edge Session.mu -> locklib.Registry.Mu
+// via locklib.Bump's exported fact; the golden declares it.
+func (s *Session) Publish(r *locklib.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	locklib.Bump(r)
+}
+
+// Sequential acquisitions do not create edges: the first lock is released
+// before the second is taken.
+func Sequential(s *Session, c *Catalog) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// Reversed order with no overlap is fine too.
+func ReversedSequential(s *Session, c *Catalog) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,18 @@
+// Fixture dependency: exports a lock class and a method that acquires it,
+// so importers exercise the cross-package acquiresFact path.
+package locklib
+
+import "sync"
+
+type Registry struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Bump acquires locklib.Registry.Mu; importers calling it under their own
+// locks create a cross-package ordering edge.
+func Bump(r *Registry) {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	r.n++
+}

@@ -33,8 +33,6 @@ import (
 const RegistryPackage = "skalla/internal/obs"
 
 // constructors maps Registry method names to whether they build counters.
-//
-//skallavet:allow stringkey -- tiny fixed lookup table in an analyzer
 var constructors = map[string]bool{
 	"Counter":       true,
 	"CounterVec":    true,

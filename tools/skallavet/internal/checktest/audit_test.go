@@ -1,0 +1,115 @@
+package checktest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"skalla/tools/skallavet/analysis"
+)
+
+// flagfoo reports every call of a function literally named flagme — a
+// minimal diagnostic source for exercising the suppression machinery.
+var flagfoo = &analysis.Analyzer{
+	Name: "flagfoo",
+	Doc:  "test analyzer: flags calls to flagme",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+						pass.Reportf(call.Pos(), "flagme called")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func loadFixture(t *testing.T, pkgpath string) (*token.FileSet, *loaded, string) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		srcRoot: srcRoot,
+		pkgs:    map[string]*loaded{},
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	pkg, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkgpath, err)
+	}
+	return ld.fset, pkg, filepath.Join(srcRoot, pkgpath)
+}
+
+// TestAllowSuppresses: without audit mode the live allow silences the one
+// diagnostic and the stale directives stay silent too.
+func TestAllowSuppresses(t *testing.T) {
+	fset, pkg, dir := loadFixture(t, "auditdemo")
+	findings, _, err := analysis.Run(&analysis.Package{
+		Fset:  fset,
+		Files: pkg.files,
+		Types: pkg.types,
+		Info:  pkg.info,
+		Dir:   dir,
+	}, []*analysis.Analyzer{flagfoo}, analysis.Config{ExtraFiles: pkg.excluded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("expected no findings outside audit mode, got %v", findings)
+	}
+}
+
+// TestAuditFindsStaleAllows: audit mode keeps real suppressions quiet but
+// reports the dead directive, the misnamed rule, and the directive hiding
+// in the build-excluded file.
+func TestAuditFindsStaleAllows(t *testing.T) {
+	fset, pkg, dir := loadFixture(t, "auditdemo")
+	if len(pkg.excluded) != 1 || !strings.HasSuffix(pkg.excluded[0], "excluded.go") {
+		t.Fatalf("fixture should exclude excluded.go via //go:build ignore, got %v", pkg.excluded)
+	}
+	findings, _, err := analysis.Run(&analysis.Package{
+		Fset:  fset,
+		Files: pkg.files,
+		Types: pkg.types,
+		Info:  pkg.info,
+		Dir:   dir,
+	}, []*analysis.Analyzer{flagfoo}, analysis.Config{
+		AuditAllows: true,
+		ExtraFiles:  pkg.excluded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type expect struct {
+		file string
+		line int
+		sub  string
+	}
+	expected := []expect{
+		{"demo.go", 12, "no longer fires on this line"},
+		{"demo.go", 16, "not a skallavet rule"},
+		{"excluded.go", 8, "suppression in a build-excluded file"},
+	}
+	if len(findings) != len(expected) {
+		t.Fatalf("expected %d audit findings, got %d: %v", len(expected), len(findings), findings)
+	}
+	for i, want := range expected {
+		got := findings[i]
+		if filepath.Base(got.Pos.Filename) != want.file || got.Pos.Line != want.line ||
+			!strings.Contains(got.Message, want.sub) {
+			t.Errorf("finding %d: got %s:%d %q, want %s:%d containing %q",
+				i, filepath.Base(got.Pos.Filename), got.Pos.Line, got.Message,
+				want.file, want.line, want.sub)
+		}
+	}
+}

@@ -5,6 +5,13 @@
 // library imports resolved from $GOROOT source, runs one analyzer, and
 // compares the findings against `// want "regexp"` comments in the
 // fixtures.
+//
+// Cross-package facts work the same way the real driver's vetx pipeline
+// does: fixture dependencies are analyzed first (facts only), and their
+// exported facts are fed to the root package's run. A fixture file whose
+// first lines carry a `//go:build ignore` constraint is excluded from the
+// load — it stands in for a build-tag-excluded file, which RunAudit hands
+// to the stale-suppression audit.
 package checktest
 
 import (
@@ -29,6 +36,19 @@ import (
 // fixture's // want comments.
 func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
 	t.Helper()
+	run(t, a, pkgpath, false)
+}
+
+// RunAudit is Run with the stale-suppression audit enabled: findings include
+// auditallow diagnostics for dead //skallavet:allow directives and for
+// directives in build-excluded fixture files (`//go:build ignore`).
+func RunAudit(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	run(t, a, pkgpath, true)
+}
+
+func run(t *testing.T, a *analysis.Analyzer, pkgpath string, audit bool) {
+	t.Helper()
 	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
 	if err != nil {
 		t.Fatal(err)
@@ -43,17 +63,49 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
 	if err != nil {
 		t.Fatalf("load fixture %s: %v", pkgpath, err)
 	}
-	findings, err := analysis.Run(&analysis.Package{
+
+	// Dependency fixtures completed loading before the root (the importer
+	// recursion bottoms out first), so ld.order is already topological:
+	// each package's facts are computed before any importer needs them.
+	importFacts := map[string]analysis.PackageFacts{}
+	for _, depPath := range ld.order {
+		if depPath == pkgpath {
+			continue
+		}
+		dep := ld.pkgs[depPath]
+		_, facts, err := analysis.Run(&analysis.Package{
+			Fset:  ld.fset,
+			Files: dep.files,
+			Types: dep.types,
+			Info:  dep.info,
+			Dir:   filepath.Join(srcRoot, depPath),
+		}, []*analysis.Analyzer{a}, analysis.Config{
+			ImportFacts: importFacts,
+			FactsOnly:   true,
+		})
+		if err != nil {
+			t.Fatalf("facts for fixture dep %s: %v", depPath, err)
+		}
+		if facts != nil {
+			importFacts[depPath] = facts
+		}
+	}
+
+	findings, _, err := analysis.Run(&analysis.Package{
 		Fset:  ld.fset,
 		Files: pkg.files,
 		Types: pkg.types,
 		Info:  pkg.info,
 		Dir:   filepath.Join(srcRoot, pkgpath),
-	}, []*analysis.Analyzer{a})
+	}, []*analysis.Analyzer{a}, analysis.Config{
+		ImportFacts: importFacts,
+		AuditAllows: audit,
+		ExtraFiles:  pkg.excluded,
+	})
 	if err != nil {
 		t.Fatalf("run %s on %s: %v", a.Name, pkgpath, err)
 	}
-	checkWants(t, ld.fset, pkg.files, findings)
+	checkWants(t, ld.fset, pkg.files, pkg.excluded, findings)
 }
 
 type want struct {
@@ -65,9 +117,19 @@ type want struct {
 }
 
 // checkWants enforces a bijection between findings and // want comments.
-func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+// Excluded files can carry want comments too (for audit findings); those are
+// harvested textually since the files are not parsed.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, excluded []string, findings []analysis.Finding) {
 	t.Helper()
 	var wants []*want
+	addWant := func(file string, line int, raw string) {
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Errorf("%s:%d: bad want pattern %q: %v", file, line, raw, err)
+			return
+		}
+		wants = append(wants, &want{file: file, line: line, re: re, raw: raw})
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -77,13 +139,23 @@ func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings [
 				}
 				posn := fset.Position(c.Pos())
 				for _, raw := range splitQuoted(strings.TrimPrefix(text, "want ")) {
-					re, err := regexp.Compile(raw)
-					if err != nil {
-						t.Errorf("%s:%d: bad want pattern %q: %v", posn.Filename, posn.Line, raw, err)
-						continue
-					}
-					wants = append(wants, &want{file: posn.Filename, line: posn.Line, re: re, raw: raw})
+					addWant(posn.Filename, posn.Line, raw)
 				}
+			}
+		}
+	}
+	for _, path := range excluded {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			for _, raw := range splitQuoted(line[idx+len("// want "):]) {
+				addWant(path, i+1, raw)
 			}
 		}
 	}
@@ -129,9 +201,10 @@ func splitQuoted(s string) []string {
 }
 
 type loaded struct {
-	files []*ast.File
-	types *types.Package
-	info  *types.Info
+	files    []*ast.File
+	types    *types.Package
+	info     *types.Info
+	excluded []string
 }
 
 // loader resolves fixture-local packages from srcRoot and everything else
@@ -141,6 +214,7 @@ type loader struct {
 	fset     *token.FileSet
 	srcRoot  string
 	pkgs     map[string]*loaded
+	order    []string
 	fallback types.Importer
 }
 
@@ -158,6 +232,25 @@ func (ld *loader) Import(path string) (*types.Package, error) {
 	return ld.fallback.Import(path)
 }
 
+// buildExcluded reports whether the file opts out of the fixture build via a
+// `//go:build ignore` constraint in its header.
+func buildExcluded(name string) bool {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if trimmed == "//go:build ignore" {
+			return true
+		}
+	}
+	return false
+}
+
 func (ld *loader) load(pkgpath string) (*loaded, error) {
 	if pkg, ok := ld.pkgs[pkgpath]; ok {
 		return pkg, nil
@@ -168,13 +261,19 @@ func (ld *loader) load(pkgpath string) (*loaded, error) {
 		return nil, err
 	}
 	var files []*ast.File
-	var names []string
+	var names, excluded []string
 	for _, e := range entries {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			names = append(names, filepath.Join(dir, e.Name()))
+			name := filepath.Join(dir, e.Name())
+			if buildExcluded(name) {
+				excluded = append(excluded, name)
+				continue
+			}
+			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
+	sort.Strings(excluded)
 	if len(names) == 0 {
 		return nil, fmt.Errorf("no Go files in %s", dir)
 	}
@@ -198,7 +297,8 @@ func (ld *loader) load(pkgpath string) (*loaded, error) {
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %w", pkgpath, err)
 	}
-	pkg := &loaded{files: files, types: tpkg, info: info}
+	pkg := &loaded{files: files, types: tpkg, info: info, excluded: excluded}
 	ld.pkgs[pkgpath] = pkg
+	ld.order = append(ld.order, pkgpath)
 	return pkg, nil
 }

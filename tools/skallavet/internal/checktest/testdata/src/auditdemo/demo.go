@@ -1,0 +1,17 @@
+// Fixture for the stale-suppression audit: one live allow, one stale
+// allow, one misnamed rule.
+package auditdemo
+
+func flagme() {}
+
+func fires() {
+	flagme() //skallavet:allow flagfoo -- deliberate fixture hit
+}
+
+func staleLine() {
+	//skallavet:allow flagfoo -- nothing fires here anymore
+	_ = 1
+}
+
+//skallavet:allow notarule -- typo in the rule name
+func misnamed() {}

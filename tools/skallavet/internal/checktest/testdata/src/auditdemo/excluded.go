@@ -1,0 +1,9 @@
+//go:build ignore
+
+// A build-tag-excluded file: the analyzers never see these lines, so any
+// allow directive in here is definitionally stale.
+package auditdemo
+
+func old() {
+	flagme() //skallavet:allow flagfoo -- cannot suppress anything
+}

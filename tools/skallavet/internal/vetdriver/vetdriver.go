@@ -9,14 +9,24 @@
 //     runs the analyzers, prints findings, and exits 2 if any survive;
 //   - `skallavet ./...` (no .cfg argument) re-execs `go vet -vettool=self`,
 //     so the standalone invocation and the CI invocation are the same code
-//     path.
+//     path;
+//   - `skallavet -audit-allows ./...` additionally fails on stale
+//     //skallavet:allow directives (rules that no longer fire on their line,
+//     and suppressions in build-excluded files).
 //
 // Dependency export data is read with go/importer's compiler-aware lookup
 // mode, which understands the build cache artifacts cmd/go lists in the
 // config's PackageFile map.
+//
+// Cross-package facts ride the same protocol: a dependency pass (VetxOnly)
+// of an in-module package runs the fact-producing analyzers and serializes
+// their facts into the package's vetx file; analyzing an importer, the
+// driver loads the vetx files cmd/go lists in PackageVetx and hands the
+// decoded facts to the analyzers through Pass.ImportObjectFact.
 package vetdriver
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -33,44 +43,87 @@ import (
 	"skalla/tools/skallavet/analysis"
 )
 
-const version = "v1.0.0"
+const version = "v2.0.0"
+
+// auditEnv carries the -audit-allows mode from the standalone invocation to
+// the per-package re-invocations cmd/go makes. The -V=full answer includes
+// it, so audited and plain runs occupy distinct vet result cache entries.
+const auditEnv = "SKALLAVET_AUDIT_ALLOWS"
+
+func auditMode() bool { return os.Getenv(auditEnv) == "1" }
+
+// selfHash fingerprints the running binary for the -V=full cache key; a
+// rebuilt tool must never reuse vet results (or vetx fact files) computed
+// by an older build.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
 
 // Main is the tool entry point. It never returns.
 func Main(analyzers ...*analysis.Analyzer) {
 	args := os.Args[1:]
+	audit := auditMode()
+	var rest []string
 	for _, arg := range args {
 		switch {
 		case arg == "-V=full" || arg == "--V=full":
-			// cmd/go parses this as "<name> version <semver>"; anything
-			// stable works as the content hash for vet result caching.
+			// cmd/go parses this as "<name> version <semver>" and folds it
+			// into the vet result cache key, so the answer must change
+			// whenever the tool's behavior does: include a hash of the
+			// binary itself. The audit marker keys audited runs separately.
+			v := version + "-" + selfHash()
+			if audit {
+				v += "-audit"
+			}
 			//skallavet:allow nostdlog -- vet -vettool protocol handshake answers on stdout
-			fmt.Printf("skallavet version %s\n", version)
+			fmt.Printf("skallavet version %s\n", v)
 			os.Exit(0)
 		case arg == "-flags" || arg == "--flags":
 			//skallavet:allow nostdlog -- vet -vettool protocol handshake answers on stdout
 			fmt.Println("[]")
 			os.Exit(0)
+		case arg == "-audit-allows" || arg == "--audit-allows":
+			audit = true
+			continue
 		case strings.HasSuffix(arg, ".cfg"):
-			code, err := checkConfig(arg, analyzers)
+			code, err := checkConfig(arg, analyzers, audit)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "skallavet: %v\n", err)
 				os.Exit(1)
 			}
 			os.Exit(code)
 		}
+		rest = append(rest, arg)
 	}
 	// Standalone mode: let the go command do package loading and hand each
 	// package back to this binary as a vet.cfg.
-	os.Exit(standalone(args))
+	os.Exit(standalone(rest, audit))
 }
 
-func standalone(args []string) int {
+func standalone(args []string, audit bool) int {
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skallavet: %v\n", err)
 		return 1
 	}
 	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Env = os.Environ()
+	if audit {
+		cmd.Env = append(cmd.Env, auditEnv+"=1")
+	}
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
@@ -105,7 +158,29 @@ type config struct {
 	SucceedOnTypecheckFailure bool
 }
 
-func checkConfig(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
+// hasFacts reports whether any analyzer exports facts — only then are
+// dependency (VetxOnly) passes worth type-checking.
+func hasFacts(analyzers []*analysis.Analyzer) bool {
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// factAnalyzers returns the subset of analyzers that export facts.
+func factAnalyzers(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func checkConfig(cfgPath string, analyzers []*analysis.Analyzer, audit bool) (int, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		return 0, err
@@ -114,17 +189,27 @@ func checkConfig(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return 0, fmt.Errorf("%s: %w", cfgPath, err)
 	}
-	// skallavet produces no cross-package facts, so dependency passes
-	// (VetxOnly) have nothing to compute: record the empty facts file and
-	// return, which keeps `go vet ./...` fast on the dependency closure.
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	writeVetx := func(facts analysis.PackageFacts) {
+		if cfg.VetxOutput == "" {
+			return
 		}
+		payload, err := analysis.EncodeFacts(facts)
+		if err != nil || len(facts) == 0 {
+			payload = nil
+		}
+		_ = os.WriteFile(cfg.VetxOutput, payload, 0o666)
 	}
 	if cfg.VetxOnly {
-		writeVetx()
-		return 0, nil
+		// Dependency pass: standard-library and out-of-module packages carry
+		// no skallavet facts — record an empty vetx and return, which keeps
+		// `go vet ./...` fast on the dependency closure. In-module packages
+		// run the fact-producing analyzers so importers can see across the
+		// boundary.
+		if !hasFacts(analyzers) || cfg.Standard[cfg.ImportPath] || !inModule(&cfg) {
+			writeVetx(nil)
+			return 0, nil
+		}
+		analyzers = factAnalyzers(analyzers)
 	}
 
 	fset := token.NewFileSet()
@@ -133,7 +218,7 @@ func checkConfig(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				writeVetx()
+				writeVetx(nil)
 				return 0, nil
 			}
 			return 0, err
@@ -157,20 +242,25 @@ func checkConfig(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
 	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx()
+			writeVetx(nil)
 			return 0, nil
 		}
 		return 0, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
 	}
 
-	findings, err := analysis.Run(&analysis.Package{
+	findings, facts, err := analysis.Run(&analysis.Package{
 		Fset:  fset,
 		Files: files,
 		Types: tpkg,
 		Info:  info,
 		Dir:   cfg.Dir,
-	}, analyzers)
-	writeVetx()
+	}, analyzers, analysis.Config{
+		ImportFacts: loadImportFacts(&cfg),
+		FactsOnly:   cfg.VetxOnly,
+		AuditAllows: audit,
+		ExtraFiles:  goFilesOnly(cfg.IgnoredFiles),
+	})
+	writeVetx(facts)
 	if err != nil {
 		return 0, err
 	}
@@ -181,6 +271,48 @@ func checkConfig(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
 		return 2, nil
 	}
 	return 0, nil
+}
+
+// inModule reports whether the package under analysis belongs to a module at
+// all. Standard-library packages carry an empty ModulePath (and cmd/go's
+// Standard map lists only a package's *imports*, never the package itself,
+// so it cannot gate the self package); computing facts for them would drag
+// runtime-internal locks (sync.allPoolsMu, gob's typeLock, ...) into the
+// lock-order fact cascade.
+func inModule(cfg *config) bool {
+	return cfg.ModulePath != ""
+}
+
+// loadImportFacts decodes the vetx facts of every dependency cmd/go listed.
+// Std-lib vetx files are empty by construction (see the VetxOnly path) and
+// decode to nil.
+func loadImportFacts(cfg *config) map[string]analysis.PackageFacts {
+	out := map[string]analysis.PackageFacts{}
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		facts, err := analysis.DecodeFacts(data)
+		if err != nil || facts == nil {
+			continue
+		}
+		out[path] = facts
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func goFilesOnly(paths []string) []string {
+	var out []string
+	for _, p := range paths {
+		if strings.HasSuffix(p, ".go") {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // newImporter resolves dependency imports through the export-data files the

@@ -3,11 +3,18 @@
 // simply `skallavet ./...`, which re-execs go vet). Each analyzer is an
 // executable design rule — see DESIGN.md §10 for the rule → origin-PR →
 // rationale table.
+//
+// `skallavet -audit-allows ./...` additionally fails on stale
+// //skallavet:allow suppressions.
 package main
 
 import (
 	"skalla/tools/skallavet/analyzers/blockpool"
+	"skalla/tools/skallavet/analyzers/chargepair"
 	"skalla/tools/skallavet/analyzers/ctxcall"
+	"skalla/tools/skallavet/analyzers/errclass"
+	"skalla/tools/skallavet/analyzers/goroutinelife"
+	"skalla/tools/skallavet/analyzers/lockorder"
 	"skalla/tools/skallavet/analyzers/metricname"
 	"skalla/tools/skallavet/analyzers/nostdlog"
 	"skalla/tools/skallavet/analyzers/rulename"
@@ -25,5 +32,9 @@ func main() {
 		nostdlog.Analyzer,
 		metricname.Analyzer,
 		rulename.Analyzer,
+		lockorder.Analyzer,
+		goroutinelife.Analyzer,
+		chargepair.Analyzer,
+		errclass.Analyzer,
 	)
 }
