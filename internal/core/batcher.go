@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"skalla/internal/engine"
+	"skalla/internal/obs"
+	"skalla/internal/relation"
+	"skalla/internal/stats"
+	"skalla/internal/transport"
+)
+
+// Cross-query site-call batching: concurrent operator rounds that aggregate
+// over the same detail relation at the same site hold their call open for a
+// short window, then ship as ONE batched exchange the site serves from a
+// single scan of its partition (the site-side fan-in; see transport.EvalBatch
+// and engine.EvalOperatorBatch). Where single-flight collapses identical
+// plans, batching collapses the scan cost of merely co-located ones.
+//
+// The batch runs on a context detached from any one member's, so a member
+// whose session dies mid-window cannot fail the rest; a member that leaves
+// before the flush is simply dropped from the batch, and if every member
+// leaves the exchange is cancelled. Only first attempts batch — retries go
+// straight to the site, so a failed batch degrades to the ordinary per-query
+// retry path instead of re-batching a known-bad exchange.
+
+// SetBatchWindow enables cross-query site-call batching with the given
+// collection window (how long the first call of a batch waits for co-located
+// calls to join). Zero or negative (the default) disables batching.
+func (c *Coordinator) SetBatchWindow(d time.Duration) {
+	if d > 0 {
+		c.batcher = &siteBatcher{window: d, groups: make(map[batchKey]*batchGroup)}
+	} else {
+		c.batcher = nil
+	}
+}
+
+// siteOperatorStream is operatorRound's site-call seam: batched when a window
+// is configured and this is a first attempt, the plain per-query stream
+// otherwise.
+func (c *Coordinator) siteOperatorStream(ctx context.Context, s transport.Site, req engine.OperatorRequest, sink func(*relation.Relation) error) (stats.Call, error) {
+	b := c.batcher
+	if b == nil || obs.AttemptFrom(ctx) > 1 {
+		return s.EvalOperatorStream(ctx, req, sink)
+	}
+	return b.eval(ctx, s, req, sink)
+}
+
+// batchKey groups batchable calls: same site, same detail relation.
+type batchKey struct {
+	site   int
+	detail string
+}
+
+// batchMember is one query's registration in a batch group. done is closed
+// exactly once, after call/err are set.
+type batchMember struct {
+	req  engine.OperatorRequest
+	qid  string
+	sink func(*relation.Relation) error
+	done chan struct{}
+	call stats.Call
+	err  error
+}
+
+// batchGroup collects the members of one pending exchange.
+type batchGroup struct {
+	key     batchKey
+	members []*batchMember
+	// refs counts members whose caller is still waiting; when the last one
+	// leaves, the exchange context is cancelled.
+	refs    int
+	flushed bool // members snapshot taken; no more joins or withdrawals
+	cancel  context.CancelFunc
+	execCtx context.Context
+}
+
+type siteBatcher struct {
+	window time.Duration
+	mu     sync.Mutex
+	groups map[batchKey]*batchGroup
+}
+
+// eval registers one call in its (site, detail) group — opening the group and
+// its window timer if it is the first — and waits for the group's exchange to
+// deliver this member's result. Leaving before the flush withdraws the member
+// from the batch; after the flush the result is imminent (the member's own
+// sink fails fast on its dead context), so the caller waits it out rather
+// than racing the exchange for the staging buffers.
+func (b *siteBatcher) eval(ctx context.Context, s transport.Site, req engine.OperatorRequest, sink func(*relation.Relation) error) (stats.Call, error) {
+	m := &batchMember{req: req, qid: obs.QueryIDFrom(ctx), sink: sink, done: make(chan struct{})}
+	key := batchKey{site: s.ID(), detail: req.Op.Detail}
+	b.mu.Lock()
+	g, ok := b.groups[key]
+	if !ok {
+		// Detach the exchange from the opener's context (trace values are
+		// preserved): the group's refcount, not any one member's session,
+		// decides when the exchange is abandoned.
+		execCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		g = &batchGroup{key: key, execCtx: execCtx, cancel: cancel}
+		b.groups[key] = g
+		// Bounded: sleeps at most the window, runs one exchange, cancels.
+		go b.flushAfter(g, s)
+	}
+	g.members = append(g.members, m)
+	g.refs++
+	b.mu.Unlock()
+
+	select {
+	case <-m.done:
+		return m.call, m.err
+	case <-ctx.Done():
+	}
+	b.mu.Lock()
+	flushed := g.flushed
+	if !flushed {
+		for i, gm := range g.members {
+			if gm == m {
+				g.members = append(g.members[:i], g.members[i+1:]...)
+				break
+			}
+		}
+	}
+	g.refs--
+	last := g.refs == 0
+	b.mu.Unlock()
+	if last {
+		g.cancel()
+	}
+	if flushed {
+		<-m.done
+		return m.call, m.err
+	}
+	return stats.Call{}, ctx.Err()
+}
+
+// flushAfter waits out the collection window, snapshots the group's members,
+// and runs the exchange, delivering each member its own call record and
+// error. Member sink errors are isolated: they fail only their member, never
+// the batch. A transport-level error fails every member, and each re-enters
+// its own retry path unbatched.
+func (b *siteBatcher) flushAfter(g *batchGroup, s transport.Site) {
+	defer g.cancel()
+	t := time.NewTimer(b.window)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-g.execCtx.Done():
+	}
+	b.mu.Lock()
+	g.flushed = true
+	delete(b.groups, g.key)
+	members := append([]*batchMember(nil), g.members...)
+	b.mu.Unlock()
+	if len(members) == 0 {
+		return
+	}
+	if err := g.execCtx.Err(); err != nil {
+		finish(members, nil, err, nil)
+		return
+	}
+	if len(members) == 1 {
+		// A lone member gets the plain stream — same wire shape, no batch
+		// framing overhead.
+		m := members[0]
+		mctx := g.execCtx
+		if m.qid != "" {
+			mctx = obs.WithQueryID(mctx, m.qid)
+		}
+		m.call, m.err = s.EvalOperatorStream(mctx, m.req, m.sink)
+		close(m.done)
+		return
+	}
+	reqs := make([]engine.OperatorRequest, len(members))
+	qids := make([]string, len(members))
+	for i, m := range members {
+		reqs[i] = m.req
+		qids[i] = m.qid
+	}
+	sinkErrs := make([]error, len(members))
+	calls, err := transport.EvalBatch(g.execCtx, s, reqs, qids, func(mi int, block *relation.Relation) error {
+		// Swallow member sink errors so one query's staging failure (or
+		// cancellation) never aborts the other members' streams; the error
+		// resurfaces on that member alone below.
+		if sinkErrs[mi] != nil {
+			relation.Recycle(block)
+			return nil
+		}
+		if serr := members[mi].sink(block); serr != nil {
+			sinkErrs[mi] = serr
+		}
+		return nil
+	})
+	if err == nil {
+		obs.CoordBatchFlushes.Inc()
+		obs.CoordBatchMembers.Add(int64(len(members)))
+	}
+	finish(members, calls, err, sinkErrs)
+}
+
+// finish delivers results: a batch-level error fails every member; otherwise
+// each member gets its own call record and (possibly nil) sink error.
+func finish(members []*batchMember, calls []stats.Call, err error, sinkErrs []error) {
+	for i, m := range members {
+		if calls != nil && i < len(calls) {
+			m.call = calls[i]
+		}
+		switch {
+		case err != nil:
+			m.err = err
+		case sinkErrs != nil:
+			m.err = sinkErrs[i]
+		}
+		close(m.done)
+	}
+}

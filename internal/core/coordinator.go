@@ -34,9 +34,12 @@ type Coordinator struct {
 	retry        RetryPolicy
 	mergeWorkers int
 	slowQuery    time.Duration
-	memBudget    int64      // per-query coordinator memory budget (0 = off)
-	admit        *admission // nil = admission control off
-	plans        *planCache // nil = plan caching off
+	memBudget    int64        // per-query coordinator memory budget (0 = off)
+	admit        *admission   // nil = admission control off
+	plans        *planCache   // nil = plan caching off
+	results      *resultCache // nil = result caching off
+	flights      *flightGroup // nil = single-flight collapsing off
+	batcher      *siteBatcher // nil = site-call batching off
 }
 
 // New creates a coordinator. cat may be nil (no distribution knowledge); net
@@ -179,10 +182,37 @@ func (c *Coordinator) ExecuteWith(ctx context.Context, q gmdj.Query, sel plan.Se
 // the evaluation first takes an execution slot — possibly waiting in the
 // bounded queue, with the wait recorded as the profile's QueueTime — and a
 // full queue fails the query with ErrAdmissionReject before any site work.
+//
+// When the shared-work layer is active (SetResultCache / SetSingleFlight)
+// and the plan carries a fingerprint, the execution may be served from the
+// super-aggregate result cache or collapsed onto a concurrent execution of
+// the same fingerprint (see shared.go); either way the caller receives its
+// own result relation and a profile attributed in QueryProfile.Shared.
 func (c *Coordinator) ExecutePlan(ctx context.Context, pl *plan.Plan, src gmdj.SchemaSource) (*Result, error) {
+	if pl.Fingerprint != "" && (c.results != nil || c.flights != nil) {
+		return c.executeShared(ctx, pl, src)
+	}
+	return c.executeUnshared(ctx, pl, src)
+}
+
+// executeUnshared is the plain execution path: one admission slot, one span,
+// one set of distributed rounds, profile finished and attached.
+func (c *Coordinator) executeUnshared(ctx context.Context, pl *plan.Plan, src gmdj.SchemaSource) (*Result, error) {
+	res, prof, err := c.executeSpanned(ctx, pl, src)
+	c.finishProfile(prof, pl, res)
+	if res != nil {
+		res.Profile = prof
+	}
+	return res, err
+}
+
+// executeSpanned runs the admission wait, the query span, and the distributed
+// rounds, returning the unfinished profile so callers (the plain path and the
+// single-flight leader) can attribute it before it lands in the ring.
+func (c *Coordinator) executeSpanned(ctx context.Context, pl *plan.Plan, src gmdj.SchemaSource) (*Result, *obs.QueryProfile, error) {
 	queued, err := c.admit.acquire(ctx)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer c.admit.release()
 	qid := obs.QueryIDFrom(ctx)
@@ -203,11 +233,7 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, pl *plan.Plan, src gmdj.S
 	if prof != nil {
 		prof.QueueTime = queued
 	}
-	c.finishProfile(prof, pl, res)
-	if res != nil {
-		res.Profile = prof
-	}
-	return res, err
+	return res, prof, err
 }
 
 func (c *Coordinator) executePlan(ctx context.Context, pl *plan.Plan, src gmdj.SchemaSource, span *obs.QuerySpan) (*Result, error) {
@@ -452,7 +478,7 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 			}
 			errs[i] = c.withRetry(ctx, rs, i, func(actx context.Context, _ int) (stats.Call, error) {
 				st := mg.NewStage(k)
-				call, err := s.EvalOperatorStream(actx, req, func(block *relation.Relation) error {
+				call, err := c.siteOperatorStream(actx, s, req, func(block *relation.Relation) error {
 					// End a cancelled query's streams promptly instead of
 					// computing and staging the rest for nothing.
 					if err := ctx.Err(); err != nil {
@@ -466,6 +492,7 @@ func (c *Coordinator) operatorRound(ctx context.Context, pl *plan.Plan, mg *merg
 				calls[i] = call
 				if err != nil {
 					st.Discard()
+					//skallavet:allow errclass -- batcher seam: siteOperatorStream only relays errors from transport site calls (the retryable class), ctx sentinels, or this callback's own classified errors; the batch delivers them through a member field the dataflow can't follow
 					return call, err
 				}
 				select {

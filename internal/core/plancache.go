@@ -74,17 +74,26 @@ func (pc *planCache) get(key planKey, gen uint64) (*plan.Plan, bool) {
 }
 
 // put stores a compiled plan, evicting the least recently used entry beyond
-// capacity. Nil-safe no-op.
-func (pc *planCache) put(key planKey, pl *plan.Plan, gen uint64) {
+// capacity, and returns the canonical plan for the key: insertion is
+// idempotent per (key, generation), so when two concurrent misses both
+// compile, the second writer adopts (and executes) the first's entry instead
+// of replacing it and churning the LRU. An entry from a stale generation is
+// replaced. Nil-safe: a nil cache returns pl unchanged.
+func (pc *planCache) put(key planKey, pl *plan.Plan, gen uint64) *plan.Plan {
 	if pc == nil {
-		return
+		return pl
 	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if el, ok := pc.entries[key]; ok {
+		e := el.Value.(*planEntry)
+		if e.gen == gen {
+			pc.lru.MoveToFront(el)
+			return e.plan
+		}
 		el.Value = &planEntry{key: key, plan: pl, gen: gen}
 		pc.lru.MoveToFront(el)
-		return
+		return pl
 	}
 	pc.entries[key] = pc.lru.PushFront(&planEntry{key: key, plan: pl, gen: gen})
 	for pc.lru.Len() > pc.cap {
@@ -92,6 +101,7 @@ func (pc *planCache) put(key planKey, pl *plan.Plan, gen uint64) {
 		pc.lru.Remove(oldest)
 		delete(pc.entries, oldest.Value.(*planEntry).key)
 	}
+	return pl
 }
 
 // len returns the number of cached plans.
@@ -135,7 +145,9 @@ func (c *Coordinator) ExecuteCached(ctx context.Context, text string, sel plan.S
 		return nil, false, err
 	}
 	recordPlanObs(pl)
-	c.plans.put(key, pl, c.cat.Gen())
+	// put adopts a concurrently inserted same-generation entry, so every
+	// racing miss ends up executing the one canonical compiled plan.
+	pl = c.plans.put(key, pl, c.cat.Gen())
 	res, err := c.ExecutePlan(ctx, pl, src)
 	return res, false, err
 }

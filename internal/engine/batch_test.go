@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"skalla/internal/agg"
+	"skalla/internal/expr"
+	"skalla/internal/gmdj"
+	"skalla/internal/relation"
+)
+
+// batchMembers builds two dissimilar member requests over the same detail:
+// different base fragments, conditions, aggregate lists, blocking, and guard
+// settings.
+func batchMembers() []OperatorRequest {
+	minMax := gmdj.Operator{Detail: "Flow", Vars: []gmdj.GroupVar{{
+		Aggs: []agg.Spec{{Func: agg.Min, Arg: "NB", As: "lo"}, {Func: agg.Max, Arg: "NB", As: "hi"}},
+		Cond: expr.MustParse("B.SAS = R.SAS && R.NB >= 6"),
+	}}}
+	return []OperatorRequest{
+		{Base: baseFragment(1, 2, 3), Op: countOp("B.SAS = R.SAS"), Keys: []string{"SAS"}, BlockRows: 2},
+		{Base: baseFragment(1, 3), Op: minMax, Keys: []string{"SAS"}, Guard: true},
+	}
+}
+
+// TestEvalOperatorBatchMatchesSolo: each member's emitted blocks — content,
+// order, and block boundaries — must be identical to running that member
+// alone through EvalOperatorBlocks.
+func TestEvalOperatorBatchMatchesSolo(t *testing.T) {
+	rows := [][3]int64{{1, 1, 5}, {1, 2, 7}, {2, 1, 11}, {3, 1, 2}, {1, 1, 9}}
+	reqs := batchMembers()
+
+	solo := make([][]string, len(reqs))
+	s1 := siteWithFlows(t, rows...)
+	for m, req := range reqs {
+		if err := s1.EvalOperatorBlocks(context.Background(), req, func(b *relation.Relation) error {
+			solo[m] = append(solo[m], b.Format(1<<20))
+			return nil
+		}); err != nil {
+			t.Fatalf("solo member %d: %v", m, err)
+		}
+	}
+
+	s2 := siteWithFlows(t, rows...)
+	got := make([][]string, len(reqs))
+	if err := s2.EvalOperatorBatch(context.Background(), reqs, func(m int, b *relation.Relation) error {
+		got[m] = append(got[m], b.Format(1<<20))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for m := range reqs {
+		if len(got[m]) != len(solo[m]) {
+			t.Fatalf("member %d: %d blocks, want %d", m, len(got[m]), len(solo[m]))
+		}
+		for i := range solo[m] {
+			if got[m][i] != solo[m][i] {
+				t.Fatalf("member %d block %d diverges from solo evaluation\ngot:\n%s\nwant:\n%s",
+					m, i, got[m][i], solo[m][i])
+			}
+		}
+	}
+}
+
+// TestEvalOperatorBatchValidation: empty batches are no-ops, members must all
+// aggregate over the same detail relation, and member requests are validated
+// like solo ones.
+func TestEvalOperatorBatchValidation(t *testing.T) {
+	s := siteWithFlows(t, [3]int64{1, 1, 5})
+	if err := s.EvalOperatorBatch(context.Background(), nil, func(int, *relation.Relation) error {
+		t.Fatal("empty batch emitted a block")
+		return nil
+	}); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+
+	mixed := batchMembers()
+	mixed[1].Op.Detail = "Other"
+	err := s.EvalOperatorBatch(context.Background(), mixed, func(int, *relation.Relation) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "mixes detail relations") {
+		t.Fatalf("mixed-detail batch error = %v", err)
+	}
+
+	missing := batchMembers()
+	missing[0].Base = nil
+	if err := s.EvalOperatorBatch(context.Background(), missing, func(int, *relation.Relation) error { return nil }); err == nil {
+		t.Fatal("nil member base accepted")
+	}
+}

@@ -451,6 +451,16 @@ func buildVarStates(x *relation.Relation, op Operator, detailSchema relation.Sch
 // (feeding both the Prop. 1 Touched flags and the skew-aware merge planner).
 // worker < 0 is the sequential (unlabeled) scan.
 func (st *varState) scan(x *relation.Relation, detail RowSource, accs []relation.Tuple, hits []uint32, worker int) error {
+	return scanShardCounted(detail, worker, st.feeder(x, accs, hits))
+}
+
+// feeder returns this grouping variable's per-detail-row accumulation step
+// over accs/hits, decoupled from the scan that drives it: scan drives one
+// feeder per pass, while the fan-in path (AccumulateOperatorsFanIn) drives
+// many registered feeders — across grouping variables and across whole
+// operator jobs — from a single shared detail scan. Each closure carries its
+// own probe scratch, so concurrent shard feeders never share mutable state.
+func (st *varState) feeder(x *relation.Relation, accs []relation.Tuple, hits []uint32) func(relation.Tuple) error {
 	if st.hashIdx != nil && st.rollup {
 		n := len(st.probe)
 		padded := make(relation.Tuple, n)
@@ -458,7 +468,7 @@ func (st *varState) scan(x *relation.Relation, detail RowSource, accs []relation
 		for i := range paddedCols {
 			paddedCols[i] = i
 		}
-		return scanShardCounted(detail, worker, func(dr relation.Tuple) error {
+		return func(dr relation.Tuple) error {
 			// A NULL detail value pads identically whether its bit is
 			// set or not; restrict masks to non-NULL dimensions so no
 			// probe (and hence no base row) repeats for this detail row.
@@ -493,10 +503,10 @@ func (st *varState) scan(x *relation.Relation, detail RowSource, accs []relation
 				}
 			}
 			return nil
-		})
+		}
 	}
 	if st.hashIdx != nil {
-		return scanShardCounted(detail, worker, func(dr relation.Tuple) error {
+		return func(dr relation.Tuple) error {
 			for _, bi := range st.hashIdx.Lookup(dr, st.probe) {
 				ok, err := expr.EvalCond(st.cond, x.Tuples[bi], dr)
 				if err != nil {
@@ -510,9 +520,9 @@ func (st *varState) scan(x *relation.Relation, detail RowSource, accs []relation
 				}
 			}
 			return nil
-		})
+		}
 	}
-	return scanShardCounted(detail, worker, func(dr relation.Tuple) error {
+	return func(dr relation.Tuple) error {
 		for bi, br := range x.Tuples {
 			ok, err := expr.EvalCond(st.cond, br, dr)
 			if err != nil {
@@ -526,7 +536,7 @@ func (st *varState) scan(x *relation.Relation, detail RowSource, accs []relation
 			}
 		}
 		return nil
-	})
+	}
 }
 
 // ExtendedSchema returns the base schema extended with the operator's

@@ -1,0 +1,184 @@
+package gmdj
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"skalla/internal/agg"
+	"skalla/internal/expr"
+	"skalla/internal/relation"
+)
+
+// fanInJobs builds three deliberately dissimilar jobs over the same detail:
+// different base relations (one with an unmatched extra row), different
+// conditions (equi-join, single-key, value-filtered), different aggregate
+// lists. Fan-in must keep them fully independent.
+func fanInJobs(t *testing.T, detail *relation.Relation) []OperatorJob {
+	t.Helper()
+	baseFull, err := EvalBase(BaseQuery{Detail: "Flow", Cols: []string{"SAS", "DAS"}}, SourceOf(detail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseFull.MustAppend(relation.Tuple{relation.NewInt(9999), relation.NewInt(9999)}) // never touched
+	baseSAS, err := EvalBase(BaseQuery{Detail: "Flow", Cols: []string{"SAS"}}, SourceOf(detail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []OperatorJob{
+		{X: baseFull, Op: Operator{Detail: "Flow", Vars: []GroupVar{{
+			Aggs: []agg.Spec{{Func: agg.Count, As: "cnt"}, {Func: agg.Sum, Arg: "NB", As: "s"}},
+			Cond: expr.MustParse("B.SAS = R.SAS && B.DAS = R.DAS"),
+		}}}},
+		{X: baseSAS, Op: Operator{Detail: "Flow", Vars: []GroupVar{
+			{
+				Aggs: []agg.Spec{{Func: agg.Min, Arg: "NB", As: "lo"}, {Func: agg.Max, Arg: "NB", As: "hi"}},
+				Cond: expr.MustParse("B.SAS = R.SAS"),
+			},
+			{
+				Aggs: []agg.Spec{{Func: agg.Avg, Arg: "NB", As: "a"}},
+				Cond: expr.MustParse("B.SAS = R.SAS && R.NB >= 500"),
+			},
+		}}},
+		{X: baseSAS.Clone(), Op: Operator{Detail: "Flow", Vars: []GroupVar{{
+			Aggs: []agg.Spec{{Func: agg.Count, As: "big"}},
+			Cond: expr.MustParse("B.SAS = R.SAS && R.NB >= 900"),
+		}}}},
+	}
+}
+
+// extendJob finalizes an accum against its job's base relation, the same way
+// operator evaluation does.
+func extendJob(t *testing.T, x *relation.Relation, acc *OperatorAccum) *relation.Relation {
+	t.Helper()
+	schema, err := acc.ExtendedSchema(x.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := relation.New(schema)
+	out.Tuples = make([]relation.Tuple, x.Len())
+	for i, br := range x.Tuples {
+		out.Tuples[i] = acc.ExtendRow(br, i)
+	}
+	return out
+}
+
+// TestFanInByteIdentical: for every (hash mode, worker count) combination,
+// each job's fan-in result — values, Touched flags, row order — must be
+// byte-identical to evaluating that job alone.
+func TestFanInByteIdentical(t *testing.T) {
+	detail := skewedFlows(21, 9000, 40, 0.3)
+	jobs := fanInJobs(t, detail)
+
+	for _, useHash := range []bool{true, false} {
+		solo := make([]*relation.Relation, len(jobs))
+		soloTouched := make([][]bool, len(jobs))
+		for j, job := range jobs {
+			acc, err := AccumulateOperatorWorkers(job.X, job.Op, SourceOf(detail), useHash, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			solo[j] = extendJob(t, job.X, acc)
+			soloTouched[j] = acc.Touched
+		}
+		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), 0} {
+			accs, err := AccumulateOperatorsFanIn(jobs, SourceOf(detail), useHash, workers)
+			if err != nil {
+				t.Fatalf("useHash=%v workers=%d: %v", useHash, workers, err)
+			}
+			if len(accs) != len(jobs) {
+				t.Fatalf("useHash=%v workers=%d: %d accums for %d jobs", useHash, workers, len(accs), len(jobs))
+			}
+			for j, job := range jobs {
+				got := extendJob(t, job.X, accs[j]).Format(1 << 20)
+				if want := solo[j].Format(1 << 20); got != want {
+					t.Fatalf("useHash=%v workers=%d job %d diverges from solo evaluation\ngot:\n%.2000s\nwant:\n%.2000s",
+						useHash, workers, j, got, want)
+				}
+				for i := range soloTouched[j] {
+					if accs[j].Touched[i] != soloTouched[j][i] {
+						t.Fatalf("useHash=%v workers=%d job %d: Touched[%d] = %v, want %v",
+							useHash, workers, j, i, accs[j].Touched[i], soloTouched[j][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// countedSource wraps a RowSource and counts the rows it streams. It is
+// deliberately NOT splittable, pinning fan-in to the sequential single-scan
+// path so the count is exact.
+type countedSource struct {
+	src  RowSource
+	rows int
+}
+
+func (c *countedSource) Schema() relation.Schema { return c.src.Schema() }
+func (c *countedSource) Len() int                { return c.src.Len() }
+func (c *countedSource) Scan(fn func(relation.Tuple) error) error {
+	return c.src.Scan(func(tp relation.Tuple) error {
+		c.rows++
+		return fn(tp)
+	})
+}
+
+// TestFanInSingleScan is the point of the whole mechanism: three jobs over
+// one detail must stream each detail row exactly once, not once per job.
+func TestFanInSingleScan(t *testing.T) {
+	detail := skewedFlows(23, 4000, 24, 0.2)
+	jobs := fanInJobs(t, detail)
+	src := &countedSource{src: SourceOf(detail)}
+	if _, err := AccumulateOperatorsFanIn(jobs, src, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if src.rows != detail.Len() {
+		t.Fatalf("fan-in streamed %d rows for %d jobs, want %d (one shared scan)",
+			src.rows, len(jobs), detail.Len())
+	}
+}
+
+// TestFanInEdgeCases: empty batches return nothing, single-job batches
+// delegate to the solo path, and an evaluation error in any job aborts the
+// batch.
+func TestFanInEdgeCases(t *testing.T) {
+	detail := skewedFlows(29, 500, 8, 0)
+	accs, err := AccumulateOperatorsFanIn(nil, SourceOf(detail), true, 1)
+	if err != nil || accs != nil {
+		t.Fatalf("empty batch = (%v, %v), want (nil, nil)", accs, err)
+	}
+
+	jobs := fanInJobs(t, detail)[:1]
+	accs, err = AccumulateOperatorsFanIn(jobs, SourceOf(detail), true, 1)
+	if err != nil || len(accs) != 1 {
+		t.Fatalf("single-job batch = (%d accums, %v)", len(accs), err)
+	}
+
+	// A SUM over a string column fails at accumulate time; the failure must
+	// surface even when a healthy job shares the batch — and under the
+	// parallel path too.
+	bad := relation.New(relation.MustSchema(
+		relation.Column{Name: "SAS", Kind: relation.KindInt},
+		relation.Column{Name: "NB", Kind: relation.KindString},
+	))
+	for i := 0; i < 8000; i++ {
+		bad.MustAppend(relation.Tuple{relation.NewInt(1), relation.NewString(fmt.Sprintf("x%d", i))})
+	}
+	base := relation.New(relation.MustSchema(relation.Column{Name: "SAS", Kind: relation.KindInt}))
+	base.MustAppend(relation.Tuple{relation.NewInt(1)})
+	badJobs := []OperatorJob{
+		{X: base, Op: Operator{Detail: "Flow", Vars: []GroupVar{{
+			Aggs: []agg.Spec{{Func: agg.Count, As: "c"}},
+			Cond: expr.MustParse("B.SAS = R.SAS"),
+		}}}},
+		{X: base.Clone(), Op: Operator{Detail: "Flow", Vars: []GroupVar{{
+			Aggs: []agg.Spec{{Func: agg.Sum, Arg: "NB", As: "s"}},
+			Cond: expr.MustParse("B.SAS = R.SAS"),
+		}}}},
+	}
+	for _, workers := range []int{1, 4} {
+		if _, err := AccumulateOperatorsFanIn(badJobs, SourceOf(bad), true, workers); err == nil {
+			t.Fatalf("workers=%d: bad job's error was swallowed by the batch", workers)
+		}
+	}
+}

@@ -110,6 +110,24 @@ var (
 	ServerPlanCacheMisses = Default.CounterVec("skalla_server_plan_cache_misses_total",
 		"Prepared-plan cache misses, by reason (cold = not cached, generation = catalog generation moved and the stale entry was dropped).",
 		"reason")
+	ServerSingleflightLeaders = Default.Counter("skalla_server_singleflight_leaders_total",
+		"Queries that ran distributed rounds as a single-flight leader while at least one follower awaited the shared result.")
+	ServerSingleflightFollowers = Default.Counter("skalla_server_singleflight_followers_total",
+		"Queries served from a concurrent leader's committed result without issuing their own site rounds.")
+
+	// Super-aggregate result cache (internal/core; coordinator layer: entries
+	// hold finalized X relations keyed by plan fingerprint).
+	CoordResultCacheHits = Default.Counter("skalla_coord_result_cache_hits_total",
+		"Super-aggregate result cache hits (repeat queries served with zero site rounds).")
+	CoordResultCacheMisses = Default.CounterVec("skalla_coord_result_cache_misses_total",
+		"Super-aggregate result cache misses, by reason (cold = not cached, generation = catalog generation moved and the stale entry was dropped).",
+		"reason")
+	CoordResultCacheEntries = Default.Gauge("skalla_coord_result_cache_entries",
+		"Super-aggregate results currently cached at the coordinator.")
+	CoordBatchFlushes = Default.Counter("skalla_coord_batch_flushes_total",
+		"Batched site exchanges issued (several queries' operator calls served from one shared detail scan).")
+	CoordBatchMembers = Default.Counter("skalla_coord_batch_members_total",
+		"Operator calls served as members of a batched site exchange.")
 
 	// Planner (internal/plan, recorded by internal/core at compile time).
 	PlanRulesApplied = Default.CounterVec("skalla_plan_rule_applied_total",

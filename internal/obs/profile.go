@@ -241,9 +241,14 @@ type QueryProfile struct {
 	// a slot was free immediately). Not included in Elapsed, which covers the
 	// execution span only.
 	QueueTime time.Duration `json:",omitempty"`
-	Err       string        `json:",omitempty"`
-	Plan      ProfilePlan
-	Rounds    []RoundProfile
+	// Shared marks how the shared-work layer served this query: "leader" (ran
+	// the distributed rounds on behalf of followers), "follower" (awaited a
+	// concurrent leader's result), "cache" (super-aggregate result cache hit,
+	// zero site rounds). Empty for an unshared execution.
+	Shared string `json:",omitempty"`
+	Err    string `json:",omitempty"`
+	Plan   ProfilePlan
+	Rounds []RoundProfile
 }
 
 // BytesDown returns the query's total coordinator→sites bytes (successful

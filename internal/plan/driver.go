@@ -299,6 +299,7 @@ func compileRules(q gmdj.Query, src gmdj.SchemaSource, cat *distrib.Catalog, num
 	p.XSchemas = xs
 	p.Estimate = model.estimate(p, xs, cat)
 	p.Fingerprint = fingerprint(p, cat)
+	p.CatalogGen = cat.Gen()
 	return p, nil
 }
 

@@ -132,6 +132,11 @@ type Plan struct {
 	// rewritten query, the applied rules, the site count, and the catalog
 	// generation. Equal fingerprints mean equal execution.
 	Fingerprint string
+	// CatalogGen is the catalog generation the plan was compiled under (the
+	// same value the fingerprint hashes, kept separately so executors can
+	// re-check validity — e.g. before committing a shared result — without
+	// recomputing the hash).
+	CatalogGen uint64
 	// Candidates is the number of plans enumerated (1 except in auto mode).
 	Candidates int
 }

@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"skalla/internal/engine"
+	"skalla/internal/obs"
+	"skalla/internal/relation"
+	"skalla/internal/stats"
+)
+
+// Batched round framing: several concurrent queries whose current MD
+// operators aggregate over the same detail relation ship as ONE wire exchange
+// per site, and the site feeds every member from a single scan of its
+// partition (engine.EvalOperatorBatch). Batching is a capability, not part of
+// the base Site/Backend contracts: endpoints advertise it by implementing the
+// interfaces below, and callers fall back to per-member streams against
+// anything else (old peers, relays, fault-injection wrappers), so the batch
+// path degrades instead of failing.
+
+// maxBatchMembers bounds a batch so the member index fits the one-byte wire
+// tag; the coordinator's batch window never accumulates anywhere near this.
+const maxBatchMembers = 255
+
+// BatchSite is the optional client-side capability: evaluate several operator
+// requests in one exchange, delivering each member's H_i blocks to sink with
+// the member index. queryIDs (optional, parallel to reqs) attributes each
+// member to the query it serves in site logs and per-query metrics. On
+// success it returns one stats.Call per member whose byte totals sum exactly
+// to what crossed the wire, so profile/metrics reconciliation holds under
+// batching.
+type BatchSite interface {
+	Site
+	EvalOperatorBatchStream(ctx context.Context, reqs []engine.OperatorRequest, queryIDs []string, sink func(member int, block *relation.Relation) error) ([]stats.Call, error)
+}
+
+// BatchBackend is the optional serving-side capability; *engine.Site
+// implements it via its fan-in evaluator.
+type BatchBackend interface {
+	Backend
+	EvalOperatorBatch(ctx context.Context, reqs []engine.OperatorRequest, emit func(member int, block *relation.Relation) error) error
+}
+
+// EvalBatch evaluates a batch over any Site: a BatchSite gets the
+// single-exchange fan-in path; anything else falls back to sequential
+// per-member streams (each under its member's query ID), which preserves the
+// semantics at the cost of one scan per member.
+func EvalBatch(ctx context.Context, s Site, reqs []engine.OperatorRequest, queryIDs []string, sink func(member int, block *relation.Relation) error) ([]stats.Call, error) {
+	if bs, ok := s.(BatchSite); ok {
+		return bs.EvalOperatorBatchStream(ctx, reqs, queryIDs, sink)
+	}
+	calls := make([]stats.Call, len(reqs))
+	for m := range reqs {
+		mctx := ctx
+		if m < len(queryIDs) && queryIDs[m] != "" {
+			mctx = obs.WithQueryID(ctx, queryIDs[m])
+		}
+		m := m
+		call, err := s.EvalOperatorStream(mctx, reqs[m], func(block *relation.Relation) error {
+			return sink(m, block)
+		})
+		calls[m] = call
+		if err != nil {
+			return calls, err
+		}
+	}
+	return calls, nil
+}
+
+// evalBatchBackend dispatches a batch on the serving side: a BatchBackend
+// evaluates all members over one shared detail scan; anything else (relays,
+// plain backends) evaluates members sequentially within the same exchange.
+func evalBatchBackend(ctx context.Context, b Backend, reqs []engine.OperatorRequest, emit func(member int, block *relation.Relation) error) error {
+	if len(reqs) == 0 {
+		return fmt.Errorf("transport: batch request without members")
+	}
+	if len(reqs) > maxBatchMembers {
+		return fmt.Errorf("transport: batch of %d members exceeds the %d-member wire limit", len(reqs), maxBatchMembers)
+	}
+	if bb, ok := b.(BatchBackend); ok {
+		return bb.EvalOperatorBatch(ctx, reqs, emit)
+	}
+	for m := range reqs {
+		m := m
+		if err := b.EvalOperatorBlocks(ctx, reqs[m], func(block *relation.Relation) error {
+			return emit(m, block)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchCalls splits one batched exchange into per-member call records. The
+// envelope (request + terminal frame) bytes are divided evenly with the
+// remainder on early members, so the per-member BytesDown/BytesUp sum exactly
+// to the wire totals; member 0 carries the exchange's compute time and site
+// breakdown (the scan ran once — attributing it once keeps histogram and
+// profile sums equal to the unbatched accounting), the rest carry empty
+// non-nil breakdowns.
+func batchCalls(siteID int, n, down, up int, rowsDown, rowsUp []int, start time.Time, elapsed time.Duration, attempt int, computeNS int64, prof *obs.SiteBreakdown) []stats.Call {
+	calls := make([]stats.Call, n)
+	for m := 0; m < n; m++ {
+		c := stats.Call{
+			Site:      siteID,
+			BytesDown: down / n,
+			BytesUp:   up / n,
+			RowsDown:  rowsDown[m],
+			RowsUp:    rowsUp[m],
+			Start:     start,
+			Elapsed:   elapsed,
+			Attempt:   attempt,
+			Profile:   &obs.SiteBreakdown{},
+		}
+		if m < down%n {
+			c.BytesDown++
+		}
+		if m < up%n {
+			c.BytesUp++
+		}
+		if m == 0 {
+			c.Compute = time.Duration(computeNS)
+			if prof != nil {
+				c.Profile = prof
+			}
+		}
+		calls[m] = c
+	}
+	return calls
+}
+
+// batchRowsDown counts each member's shipped base rows.
+func batchRowsDown(reqs []engine.OperatorRequest) []int {
+	rows := make([]int, len(reqs))
+	for m := range reqs {
+		if reqs[m].Base != nil {
+			rows[m] = reqs[m].Base.Len()
+		}
+	}
+	return rows
+}
+
+// recordBatchCalls folds per-member call records into the obs registry under
+// each member's own query ID.
+func recordBatchCalls(calls []stats.Call, queryIDs []string) {
+	for m := range calls {
+		qid := ""
+		if m < len(queryIDs) {
+			qid = queryIDs[m]
+		}
+		recordCall(calls[m], KindBatch, qid)
+	}
+}

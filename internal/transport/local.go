@@ -175,6 +175,74 @@ func (l *LocalSite) EvalOperatorStream(ctx context.Context, req engine.OperatorR
 	return call, nil
 }
 
+// EvalOperatorBatchStream implements BatchSite: the batch crosses the
+// serialization boundary as one request, the backend feeds every member from
+// one shared detail scan, and each member's blocks come back through the
+// relation wire codec tagged with the member index (the +2 per block mirrors
+// the TCP batch stream's marker and member-tag bytes).
+func (l *LocalSite) EvalOperatorBatchStream(ctx context.Context, reqs []engine.OperatorRequest, queryIDs []string, sink func(member int, block *relation.Relation) error) ([]stats.Call, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	wallStart := time.Now()
+	wireReq := &Request{Kind: KindBatch, Batch: reqs, BatchQueryIDs: queryIDs}
+	attempt := stampTraceContext(ctx, wireReq)
+	if err := l.downEnc.Encode(wireReq); err != nil {
+		return nil, fmt.Errorf("transport: encode request: %w", err)
+	}
+	down := l.downBuf.Len()
+	var decReq Request
+	if err := l.downDec.Decode(&decReq); err != nil {
+		return nil, fmt.Errorf("transport: decode request: %w", err)
+	}
+	// The serving end of the emulated connection.
+	obs.ServerRequests.With(kindName(KindBatch)).Inc()
+	rec := obs.NewSiteRecorder()
+	ctx = obs.WithRecorder(ctx, rec)
+	enc := relation.NewEncoder(&l.upBuf)
+	dec := relation.NewDecoder(&l.upBuf)
+	dec.SetPool(&l.pool)
+	up := 0
+	rowsUp := make([]int, len(reqs))
+	start := time.Now()
+	evalErr := evalBatchBackend(ctx, l.site, decReq.Batch, func(m int, block *relation.Relation) error {
+		if err := enc.Encode(block); err != nil {
+			return err
+		}
+		// +2 mirrors the TCP batch stream's per-frame marker and member bytes.
+		up += l.upBuf.Len() + 2
+		rec.AddCodecBytes(2)
+		decBlock, err := dec.Decode()
+		if err != nil {
+			return err
+		}
+		rowsUp[m] += decBlock.Len()
+		return sink(m, decBlock)
+	})
+	compute := time.Since(start)
+	rec.AddCodecBytes(enc.Bytes())
+	rec.SetEval(compute)
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	// Terminal frame (+1 for the end marker the TCP stream sends).
+	b := rec.Snapshot()
+	if err := l.upEnc.Encode(&Response{ComputeNS: compute.Nanoseconds(), Profile: &b}); err != nil {
+		return nil, err
+	}
+	up += l.upBuf.Len() + 1
+	var term Response
+	if err := l.upDec.Decode(&term); err != nil {
+		return nil, err
+	}
+	calls := batchCalls(l.site.ID(), len(reqs), down, up, batchRowsDown(reqs), rowsUp,
+		wallStart, time.Since(wallStart), attempt, term.ComputeNS, term.Profile)
+	recordBatchCalls(calls, queryIDs)
+	return calls, nil
+}
+
 // EvalLocal implements Site.
 func (l *LocalSite) EvalLocal(ctx context.Context, req engine.LocalRequest) (*relation.Relation, stats.Call, error) {
 	resp, call, err := l.roundTrip(ctx, &Request{Kind: KindLocal, Local: &req})
@@ -265,6 +333,31 @@ func (f *FastLocalSite) EvalOperatorStream(ctx context.Context, req engine.Opera
 	b := rec.Snapshot()
 	call.Profile = &b
 	return call, err
+}
+
+// EvalOperatorBatchStream implements BatchSite without serialization: byte
+// counts stay zero (matching the rest of FastLocalSite's accounting) while the
+// backend still feeds every member from one shared scan.
+func (f *FastLocalSite) EvalOperatorBatchStream(ctx context.Context, reqs []engine.OperatorRequest, queryIDs []string, sink func(member int, block *relation.Relation) error) ([]stats.Call, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rec := obs.NewSiteRecorder()
+	ctx = obs.WithRecorder(ctx, rec)
+	rowsUp := make([]int, len(reqs))
+	start := time.Now()
+	err := evalBatchBackend(ctx, f.site, reqs, func(m int, block *relation.Relation) error {
+		rowsUp[m] += block.Len()
+		return sink(m, block)
+	})
+	compute := time.Since(start)
+	rec.SetEval(compute)
+	if err != nil {
+		return nil, err
+	}
+	b := rec.Snapshot()
+	return batchCalls(f.site.ID(), len(reqs), 0, 0, batchRowsDown(reqs), rowsUp,
+		start, compute, obs.AttemptFrom(ctx), compute.Nanoseconds(), &b), nil
 }
 
 func baseRows(req engine.OperatorRequest) int {

@@ -31,6 +31,9 @@ const (
 	KindLoad
 	// KindTables lists the site's relation inventory.
 	KindTables
+	// KindBatch evaluates several MD operator requests over one shared scan
+	// of the detail partition (the site-side fan-in of the shared-work layer).
+	KindBatch
 )
 
 // Request is the wire request envelope. QueryID carries the coordinator's
@@ -51,6 +54,12 @@ type Request struct {
 	// tolerates them missing in either direction, so old peers interoperate.
 	Round   string
 	Attempt int
+	// Batch carries a KindBatch request's member operator requests (all over
+	// the same detail relation); BatchQueryIDs carries the per-member query
+	// identifiers so site logs and metrics attribute each member to the query
+	// it serves. Appended fields — see Round.
+	Batch         []engine.OperatorRequest
+	BatchQueryIDs []string
 }
 
 // Response is the wire response envelope. Operator evaluations may stream:
@@ -211,6 +220,8 @@ func kindName(k ReqKind) string {
 		return "load"
 	case KindTables:
 		return "tables"
+	case KindBatch:
+		return "batch"
 	}
 	return "unknown"
 }

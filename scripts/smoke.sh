@@ -6,7 +6,9 @@
 # query, /debug/queries must list a well-formed profile with a non-empty
 # plan fingerprint, and its /trace export must be trace-event JSON. A third
 # coordinator run in -serve mode takes two concurrent skalla-client sessions
-# and must report a plan-cache hit in /metrics before draining on SIGINT.
+# and must report a plan-cache hit in /metrics; a storm of repeat sessions
+# must then be served from the super-aggregate result cache with zero
+# additional site rounds and byte-identical rows, before draining on SIGINT.
 #
 # Failure discipline: set -eu plus explicit exit-code checks on every stage,
 # and a liveness probe (kill -0) on the site daemon before each assertion —
@@ -190,6 +192,40 @@ echo "$serve_metrics" | grep '^skalla_server_plan_cache_hits_total' \
   | grep -qv ' 0$' || fail "plan cache hits not counted: $(echo "$serve_metrics" | grep plan_cache)"
 echo "$serve_metrics" | grep '^skalla_server_sessions_total' \
   | grep -qv ' 0$' || fail "client sessions not counted"
+
+echo "==> storm: repeat queries served from the result cache"
+# The statement's result is committed to the server's super-aggregate result
+# cache (default-on) by the sessions above. A storm of repeat sessions must be
+# answered with ZERO additional site rounds: the site-side operator-request
+# counter must not move, and every session's rows must be byte-identical to
+# the warm run's.
+site_alive "before storm"
+ops_before=$(curl -s http://127.0.0.1:9471/metrics \
+  | sed -n 's/^skalla_server_requests_total{kind="operator"} \([0-9][0-9]*\)$/\1/p')
+[ -n "$ops_before" ] || fail "could not read site operator-request counter"
+"$workdir/bin/skalla-client" -addr 127.0.0.1:7473 -q "$stmt" \
+  >"$workdir/storm1.out" 2>&1 &
+storm1_pid=$!
+"$workdir/bin/skalla-client" -addr 127.0.0.1:7473 -q "$stmt" \
+  >"$workdir/storm2.out" 2>&1 &
+storm2_pid=$!
+wait $storm1_pid || { cat "$workdir/storm1.out" >&2; fail "storm session 1 failed"; }
+wait $storm2_pid || { cat "$workdir/storm2.out" >&2; fail "storm session 2 failed"; }
+ops_after=$(curl -s http://127.0.0.1:9471/metrics \
+  | sed -n 's/^skalla_server_requests_total{kind="operator"} \([0-9][0-9]*\)$/\1/p')
+[ "$ops_after" = "$ops_before" ] \
+  || fail "storm reached the site: operator requests $ops_before -> $ops_after (result cache bypassed)"
+# Rows only — the trailing "query <id>: <elapsed>" line is timing-dependent.
+grep -v '^query ' "$workdir/client0.out" >"$workdir/warm.rows"
+for n in 1 2; do
+  grep -v '^query ' "$workdir/storm$n.out" >"$workdir/storm$n.rows"
+  cmp -s "$workdir/warm.rows" "$workdir/storm$n.rows" \
+    || { diff "$workdir/warm.rows" "$workdir/storm$n.rows" >&2 || true; \
+         fail "storm session $n rows differ from the warm run"; }
+done
+serve_metrics=$(curl -s http://127.0.0.1:9473/metrics) || fail "server metrics scrape failed"
+echo "$serve_metrics" | grep '^skalla_coord_result_cache_hits_total' \
+  | grep -qv ' 0$' || fail "result cache hits not counted: $(echo "$serve_metrics" | grep result_cache)"
 
 echo "==> drain query server"
 kill -INT "$serve_pid"

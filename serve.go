@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"time"
 
 	"skalla/internal/core"
 	"skalla/internal/egil"
@@ -49,9 +50,15 @@ var (
 // when ServerOptions leaves PlanCacheSize at zero.
 const DefaultPlanCacheSize = 128
 
+// DefaultResultCacheSize is the super-aggregate result cache capacity Serve
+// installs when ServerOptions leaves ResultCacheSize at zero.
+const DefaultResultCacheSize = 64
+
 // ServerOptions configures Serve. The zero value asks for production
 // defaults: GOMAXPROCS concurrent queries with a 4x wait queue, a
-// DefaultPlanCacheSize-entry plan cache, and no per-query memory budget.
+// DefaultPlanCacheSize-entry plan cache, a DefaultResultCacheSize-entry
+// result cache, single-flight query collapsing, and no per-query memory
+// budget.
 type ServerOptions struct {
 	// MaxConcurrent bounds concurrently executing queries across all
 	// sessions; <= 0 means GOMAXPROCS.
@@ -64,6 +71,21 @@ type ServerOptions struct {
 	// PlanCacheSize is the prepared-plan cache capacity: 0 means
 	// DefaultPlanCacheSize, negative disables caching.
 	PlanCacheSize int
+	// ResultCacheSize is the super-aggregate result cache capacity: repeat
+	// queries whose plan fingerprint matches a cached entry are served with
+	// zero site rounds, invalidated when the catalog generation moves. 0
+	// means DefaultResultCacheSize, negative disables the cache.
+	ResultCacheSize int
+	// NoSingleFlight disables single-flight query collapsing. By default the
+	// server collapses concurrent statements with the same plan fingerprint:
+	// one leader runs the distributed rounds while the others await its
+	// committed result.
+	NoSingleFlight bool
+	// BatchWindow enables cross-query site-call batching: concurrent operator
+	// rounds against the same detail relation at the same site that arrive
+	// within this window are shipped as one exchange the site serves from a
+	// single scan of its partition. 0 (the default) disables batching.
+	BatchWindow time.Duration
 	// QueryMemBudget bounds the coordinator-side memory one query may hold,
 	// in bytes; 0 disables the budget. Over-budget queries fail with
 	// ErrQueryMemBudget (wire code "mem_budget").
@@ -74,11 +96,13 @@ type ServerOptions struct {
 // ("host:port"; ":0" for an ephemeral port). Each client session submits
 // statements — Egil SQL (SELECT ...) or the skalla query text format — and
 // receives result rows plus execution stats; statements plan under the
-// cluster's configured plan mode. Serve installs the admission, plan-cache
-// and memory-budget settings from opts on the cluster's coordinator
-// (overriding any WithPlanCache / WithMaxConcurrent / WithQueryMemBudget
-// construction options), so they also govern queries executed directly
-// through the Cluster API while the server runs.
+// cluster's configured plan mode. Serve installs the admission, plan-cache,
+// shared-work (result cache, single-flight, site-call batching) and
+// memory-budget settings from opts on the cluster's coordinator (overriding
+// any WithPlanCache / WithMaxConcurrent / WithQueryMemBudget /
+// WithResultCache / WithSingleFlight / WithBatchWindow construction options),
+// so they also govern queries executed directly through the Cluster API while
+// the server runs.
 //
 // Stop the server with QueryServer.Shutdown (drains in-flight statements) or
 // Close (immediate).
@@ -88,6 +112,16 @@ func Serve(cluster *Cluster, addr string, opts ServerOptions) (*QueryServer, err
 		size = DefaultPlanCacheSize
 	}
 	cluster.coord.SetPlanCache(size) // negative size disables
+	rcSize := opts.ResultCacheSize
+	switch {
+	case rcSize == 0:
+		rcSize = DefaultResultCacheSize
+	case rcSize < 0:
+		rcSize = 0 // core: 0 disables
+	}
+	cluster.coord.SetResultCache(rcSize)
+	cluster.coord.SetSingleFlight(!opts.NoSingleFlight)
+	cluster.coord.SetBatchWindow(opts.BatchWindow)
 	queue := opts.QueueDepth
 	switch {
 	case queue == 0:

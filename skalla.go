@@ -289,6 +289,9 @@ type clusterConfig struct {
 	maxConcurrent int
 	queueDepth    int
 	memBudget     int64
+	resultCache   int
+	singleFlight  bool
+	batchWindow   time.Duration
 }
 
 // configure applies the per-coordinator settings shared by every cluster
@@ -309,6 +312,15 @@ func (cfg *clusterConfig) configure(coord *core.Coordinator) {
 	}
 	if cfg.memBudget > 0 {
 		coord.SetQueryMemBudget(cfg.memBudget)
+	}
+	if cfg.resultCache > 0 {
+		coord.SetResultCache(cfg.resultCache)
+	}
+	if cfg.singleFlight {
+		coord.SetSingleFlight(true)
+	}
+	if cfg.batchWindow > 0 {
+		coord.SetBatchWindow(cfg.batchWindow)
 	}
 }
 
@@ -386,6 +398,37 @@ func WithPlanCache(capacity int) ClusterOption {
 // admission control is off.
 func WithMaxConcurrent(n int) ClusterOption {
 	return func(c *clusterConfig) { c.admit, c.maxConcurrent, c.queueDepth = true, n, -1 }
+}
+
+// WithResultCache installs a super-aggregate result cache of the given
+// capacity on the coordinator: repeat queries whose plan fingerprint matches
+// a cached entry are served with zero site rounds. Entries are invalidated
+// when the catalog generation moves — both at lookup and again before a
+// finishing query commits, so a generation bump concurrent with an execution
+// can never publish a stale result. Cache hits charge the per-query memory
+// budget for the bytes they retain, exactly like an executed query. Zero or
+// negative disables the cache (the default).
+func WithResultCache(capacity int) ClusterOption {
+	return func(c *clusterConfig) { c.resultCache = capacity }
+}
+
+// WithSingleFlight makes concurrent executions of plans with the same
+// fingerprint collapse into one: a leader runs the distributed rounds on a
+// context detached from any single caller's, and the others await its
+// committed result (each receives a private clone and charges its own memory
+// budget). Off by default; Serve enables it for server deployments.
+func WithSingleFlight() ClusterOption {
+	return func(c *clusterConfig) { c.singleFlight = true }
+}
+
+// WithBatchWindow enables cross-query site-call batching: concurrent operator
+// rounds that aggregate over the same detail relation at the same site and
+// arrive within d of each other ship as one batched exchange the site serves
+// from a single scan of its partition. Zero or negative disables batching
+// (the default). Where single-flight collapses identical plans, batching
+// collapses the scan cost of merely co-located ones.
+func WithBatchWindow(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.batchWindow = d }
 }
 
 // WithQueryMemBudget bounds the coordinator-side memory one query may hold
